@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+One pipeline (corpus, trained GNN, trained explainers) is built per
+benchmark session and reused by every experiment module.  The
+configuration is the repository default, scaled to run all benches in a
+few minutes on CPU while keeping the paper's architectural shape.
+"""
+
+import pytest
+
+from repro.eval import ExperimentConfig, run_pipeline, sweep_all_families
+
+BENCH_CONFIG = ExperimentConfig(
+    samples_per_family=10,
+    size_multiplier=3,
+    gnn_epochs=150,
+    explainer_epochs=600,
+    gnnexplainer_epochs=60,
+    pgexplainer_epochs=12,
+    subgraphx_iterations=25,
+    subgraphx_shapley_samples=4,
+)
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    return run_pipeline(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def sweeps(artifacts):
+    """Figure 2's full grid, shared by the Figure 2 and Table III benches."""
+    return sweep_all_families(
+        artifacts.gnn,
+        artifacts.explainers,
+        artifacts.test_set,
+        step_size=BENCH_CONFIG.step_size,
+    )

@@ -1,0 +1,69 @@
+"""A3 — ablation: node-embedding vs edge-embedding input size.
+
+Section V-C argues CFGExplainer's [N, f] node-embedding input is
+fundamentally cheaper than PGExplainer's up-to-[N², 2f] edge-embedding
+construction.  This bench measures the actual constructed input sizes
+and the per-graph scoring time of both models on the same graphs.
+"""
+
+import numpy as np
+
+from repro.core.training import precompute_embeddings
+from repro.nn import Tensor, no_grad
+
+
+def test_bench_input_construction_sizes(benchmark, artifacts):
+    pg = artifacts.explainers["PGExplainer"]
+    f = artifacts.gnn.embedding_size
+    benchmark.pedantic(
+        pg._cache_graph, args=(artifacts.test_set.graphs[0],),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(f"{'graph':>22s} | {'CFGExplainer input':>20s} | {'PGExplainer input':>20s}")
+    print("-" * 70)
+    ratios = []
+    for graph in artifacts.test_set.graphs[:5]:
+        cache = pg._cache_graph(graph)
+        node_cells = graph.n * f
+        edge_cells = cache.edge_embeddings.shape[0] * 2 * f
+        ratios.append(edge_cells / node_cells)
+        print(
+            f"{graph.name:>22s} | [{graph.n}, {f}] = {node_cells:>7d} | "
+            f"[{cache.edge_embeddings.shape[0]}, {2 * f}] = {edge_cells:>7d}"
+        )
+    worst_case = graph.n * graph.n * 2 * f
+    print(f"\nPGExplainer worst case [N², 2f] = {worst_case} cells "
+          f"({worst_case / node_cells:.0f}x CFGExplainer's input)")
+    assert all(r > 0 for r in ratios)
+
+
+def test_bench_scoring_time_node_vs_edge(benchmark, artifacts):
+    """Time Θ_s scoring ([N, f] input) — compare to the edge-MLP bench."""
+    theta = artifacts.explainers["CFGExplainer"].theta
+    graph = artifacts.test_set.graphs[0]
+    cached = precompute_embeddings(artifacts.gnn, type(artifacts.test_set)(
+        [graph], artifacts.test_set.families
+    ))
+    embeddings = cached[0].embeddings
+
+    def score_nodes():
+        with no_grad():
+            return theta.scorer(Tensor(embeddings))
+
+    result = benchmark(score_nodes)
+    assert result.shape == (graph.n, 1)
+
+
+def test_bench_scoring_time_edge_mlp(benchmark, artifacts):
+    pg = artifacts.explainers["PGExplainer"]
+    graph = artifacts.test_set.graphs[0]
+    cache = pg._cache_graph(graph)
+
+    def score_edges():
+        with no_grad():
+            return pg.predictor(Tensor(cache.edge_embeddings))
+
+    result = benchmark(score_edges)
+    assert result.shape[0] == cache.edge_embeddings.shape[0]

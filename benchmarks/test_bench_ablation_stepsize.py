@@ -1,0 +1,39 @@
+"""A2 — ablation: the step-size trade-off (Section IV's discussion).
+
+The paper: "using a large step size would result in large subgraphs
+while using a small one would increase the time in finding subgraphs."
+This bench quantifies both sides: explanation wall-clock and AUC for
+step sizes 5, 10, 20 and 50.
+"""
+
+import time
+
+from repro.explain import accuracy_auc, sweep_accuracy_curve
+
+
+def test_bench_ablation_step_size(benchmark, artifacts):
+    explainer = artifacts.explainers["CFGExplainer"]
+    graphs = artifacts.test_set.graphs[:10]
+
+    print()
+    print(f"{'step size':>10s} | {'levels':>6s} | {'time/graph':>11s} | {'AUC':>6s}")
+    print("-" * 45)
+    results = {}
+    for step in (5, 10, 20, 50):
+        start = time.perf_counter()
+        explanations = [explainer.explain(g, step_size=step) for g in graphs]
+        elapsed = (time.perf_counter() - start) / len(graphs)
+        fractions, accuracies = sweep_accuracy_curve(artifacts.gnn, explanations)
+        auc = accuracy_auc(fractions, accuracies)
+        results[step] = (elapsed, auc)
+        print(f"{step:>9d}% | {len(fractions):>6d} | {elapsed:>9.3f} s | {auc:.3f}")
+
+    # Benchmark the default step size.
+    benchmark.pedantic(
+        explainer.explain, args=(graphs[0],), kwargs={"step_size": 10},
+        rounds=3, iterations=1,
+    )
+
+    # Smaller steps do strictly more pruning iterations, so they cannot
+    # be faster than the coarsest step.
+    assert results[5][0] >= results[50][0]

@@ -1,0 +1,39 @@
+"""E1 — Figure 2: subgraph classification accuracy vs kept-node share.
+
+Regenerates all twelve panels (eleven malware families + benign) for
+the four explainers and prints them.  The benchmarked unit is one
+family sweep with CFGExplainer — the operation Figure 2 repeats.
+
+Paper shape to check in the output: CFGExplainer's curves dominate the
+baselines' at small subgraph sizes for most families, and every curve
+reaches 1.0 at 100%.
+"""
+
+from repro.eval.sweep import sweep_family
+from repro.eval.tables import format_figure2
+
+
+def test_bench_figure2_sweep_one_family(benchmark, artifacts):
+    family = "Bagle"
+    graphs = artifacts.test_set.of_family(family)
+    explainer = artifacts.explainers["CFGExplainer"]
+
+    result = benchmark.pedantic(
+        sweep_family,
+        args=(artifacts.gnn, explainer, graphs, family),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.accuracies[-1] == 1.0
+
+
+def test_bench_figure2_full_grid(benchmark, sweeps, artifacts):
+    """Print the complete Figure 2 text rendering."""
+    print()
+    print(f"[GNN test accuracy: {artifacts.gnn_test_accuracy:.3f}]")
+    print(benchmark(format_figure2, sweeps))
+    # Every family/explainer curve must exist and end at 1.0.
+    for family, by_explainer in sweeps.items():
+        assert set(by_explainer) == set(artifacts.explainers)
+        for sweep in by_explainer.values():
+            assert sweep.accuracies[-1] == 1.0

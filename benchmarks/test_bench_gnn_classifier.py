@@ -1,0 +1,46 @@
+"""E5 — the GNN classifier's accuracy claim (Section V-A).
+
+The paper trains Φ to 98% accuracy over the 12 ACFG families before
+explaining it.  This bench reports the scaled pipeline's held-out
+accuracy and benchmarks a single classification forward pass.
+"""
+
+
+def test_bench_gnn_forward(benchmark, artifacts):
+    graph = artifacts.test_set.graphs[0]
+    label = benchmark(artifacts.gnn.predict, graph)
+    assert 0 <= label < artifacts.test_set.num_classes
+
+
+def test_bench_gnn_accuracy_report(benchmark, artifacts):
+    from repro.gnn import evaluate_accuracy
+
+    accuracy = benchmark.pedantic(
+        evaluate_accuracy, args=(artifacts.gnn, artifacts.test_set),
+        rounds=1, iterations=1,
+    )
+    print(f"\nGNN held-out accuracy: {accuracy:.3f} (paper: 0.98 at full scale)")
+    # At bench scale the classifier must be far above chance (1/12).
+    assert accuracy > 0.5
+
+
+def test_bench_per_family_accuracy(benchmark, artifacts):
+    from collections import Counter
+
+    correct: Counter = Counter()
+    total: Counter = Counter()
+
+    def tally():
+        correct.clear()
+        total.clear()
+        for graph in artifacts.test_set:
+            total[graph.family] += 1
+            if artifacts.gnn.predict(graph) == graph.label:
+                correct[graph.family] += 1
+
+    benchmark.pedantic(tally, rounds=1, iterations=1)
+    print()
+    for family in artifacts.test_set.families:
+        if total[family]:
+            print(f"  {family:10s} {correct[family]}/{total[family]}")
+    assert sum(correct.values()) > 0

@@ -1,0 +1,50 @@
+"""E8 (extension) — model-agnosticism across GNN architectures.
+
+Section IV argues CFGExplainer is model-agnostic because it consumes
+only node embeddings.  The paper demonstrates it on one GCN; here the
+same Θ training and Algorithm 2 run against a second architecture —
+a DGCNN-style classifier (the MAGIC/DGCNN family the paper's target
+model belongs to) — with no code changes.
+"""
+
+import numpy as np
+
+from repro.core import CFGExplainer, CFGExplainerModel, train_cfgexplainer
+from repro.explain import accuracy_auc, sweep_accuracy_curve
+from repro.gnn import DGCNNClassifier, evaluate_accuracy, train_gnn
+
+
+def test_bench_cfgexplainer_on_dgcnn(benchmark, artifacts):
+    train_set, test_set = artifacts.train_set, artifacts.test_set
+
+    dgcnn = DGCNNClassifier(
+        conv_channels=(24, 16, 8),
+        sort_k=24,
+        num_classes=test_set.num_classes,
+        rng=np.random.default_rng(0),
+    )
+    train_gnn(dgcnn, train_set, epochs=60, batch_size=16, lr=0.005, seed=0)
+    accuracy = evaluate_accuracy(dgcnn, test_set)
+
+    theta = CFGExplainerModel(
+        dgcnn.embedding_size, test_set.num_classes, rng=np.random.default_rng(1)
+    )
+    train_cfgexplainer(
+        theta, dgcnn, train_set,
+        num_epochs=artifacts.config.explainer_epochs,
+        minibatch_size=16, lr=0.003, seed=0,
+    )
+    explainer = CFGExplainer(dgcnn, theta)
+
+    explanations = [explainer.explain(g) for g in test_set.graphs[:10]]
+    fractions, accuracies = sweep_accuracy_curve(dgcnn, explanations)
+    auc = accuracy_auc(fractions, accuracies)
+
+    print(f"\nDGCNN-style Φ: test accuracy {accuracy:.3f}, "
+          f"CFGExplainer AUC {auc:.3f} (same Θ code as the GCN run)")
+
+    benchmark.pedantic(
+        explainer.explain, args=(test_set.graphs[0],), rounds=2, iterations=1
+    )
+    # The explainer must function (complete ladders, curves ending at 1).
+    assert accuracies[-1] == 1.0

@@ -1,0 +1,47 @@
+"""E3 — Table IV: explanation time.
+
+Benchmarks one explanation per explainer (the pytest-benchmark numbers
+are Table IV's per-explanation column) and prints the assembled table
+including the offline training times measured by the pipeline.
+
+Paper shape: CFGExplainer and PGExplainer are fast per explanation but
+pay an offline training cost; GNNExplainer is an order of magnitude
+slower; SubgraphX is the slowest of all.
+"""
+
+import pytest
+
+from repro.eval import measure_timings
+from repro.eval.tables import format_table4
+
+
+@pytest.mark.parametrize(
+    "name", ["CFGExplainer", "GNNExplainer", "SubgraphX", "PGExplainer"]
+)
+def test_bench_single_explanation(benchmark, artifacts, name):
+    explainer = artifacts.explainers[name]
+    graph = artifacts.test_set.graphs[0]
+    benchmark.pedantic(
+        explainer.explain, args=(graph,), kwargs={"step_size": 10},
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_table4_report(benchmark, artifacts):
+    graphs = artifacts.test_set.graphs[:6]
+    timings = benchmark.pedantic(
+        measure_timings,
+        args=(artifacts.explainers, graphs, artifacts.offline_training_seconds),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table4(timings))
+
+    by_name = {t.explainer_name: t for t in timings}
+    # The paper's ordering: the two local search methods cost the most
+    # per explanation; the two offline-trained ones are fast.
+    assert by_name["SubgraphX"].mean_seconds > by_name["CFGExplainer"].mean_seconds
+    assert by_name["GNNExplainer"].mean_seconds > by_name["CFGExplainer"].mean_seconds
+    assert by_name["CFGExplainer"].offline_seconds > 0
+    assert by_name["PGExplainer"].offline_seconds > 0

@@ -1,0 +1,114 @@
+"""Explain your own disassembly listing.
+
+Shows the adoption path for real analyses: paste (or load) a textual
+disassembly listing — the kind IDA Pro or Ghidra exports — parse it
+into a CFG, extract the paper's Table I features, and run a trained
+CFGExplainer over it.  The classifier here is trained on the synthetic
+corpus, so its *label* for your listing is only meaningful relative to
+those families; the interesting output is the block importance ranking
+and the pattern analysis.
+
+Usage::
+
+    python examples/explain_your_own_disassembly.py [listing.asm]
+"""
+
+import sys
+
+from repro import ExperimentConfig, FAMILIES, run_pipeline
+from repro.acfg import from_sample
+from repro.analysis import macro_analysis, micro_analysis
+from repro.disasm import build_cfg
+from repro.disasm.parser import parse_program
+from repro.malgen.corpus import LabeledSample, block_motif_tags
+from repro.viz import render_block_listing
+
+# A hand-written listing with a classic credential-stealer shape:
+# an XOR string decoder, a registry harvest loop, and an exfil socket.
+DEMO_LISTING = """
+start:
+    push ebp
+    mov ebp, esp
+    call decode_strings
+    call harvest
+    call exfil
+    pop ebp
+    ret
+
+decode_strings:
+    mov esi, offset_blob
+    mov ecx, 64
+decode_loop:
+    mov al, [esi]
+    xor al, 5Ah
+    mov [esi], al
+    inc esi
+    dec ecx
+    jnz decode_loop
+    ret
+
+harvest:
+    call ds:RegOpenKeyExA
+    mov ebx, 0
+harvest_loop:
+    call ds:RegQueryValueExA
+    test eax, eax
+    jnz harvest_done
+    inc ebx
+    cmp ebx, 8
+    jl harvest_loop
+harvest_done:
+    call ds:RegCloseKey
+    ret
+
+exfil:
+    call ds:WSAStartup
+    call ds:socket
+    call ds:connect
+    call ds:send
+    call ds:closesocket
+    ret
+"""
+
+
+def main(path: str | None = None) -> None:
+    listing = open(path).read() if path else DEMO_LISTING
+    program = parse_program(listing, name="user_sample")
+    cfg = build_cfg(program)
+    print(f"Parsed {len(program)} instructions into {cfg.node_count} basic blocks.")
+
+    print("\nTraining the pipeline on the synthetic corpus...")
+    config = ExperimentConfig(
+        samples_per_family=8, gnn_epochs=60, explainer_epochs=150
+    )
+    artifacts = run_pipeline(config)
+
+    # Wrap the parsed CFG like a corpus sample (label unknown -> 0).
+    sample = LabeledSample(
+        program=program,
+        cfg=cfg,
+        family="unknown",
+        label=0,
+        motif_spans=[],
+        block_tags=block_motif_tags(cfg, []),
+    )
+    graph = from_sample(sample, pad_to=artifacts.test_set.n)
+    graph = artifacts.scaler.transform(graph)
+
+    predicted = artifacts.gnn.predict(graph)
+    print(f"Classifier's nearest family: {FAMILIES[predicted]}")
+
+    explanation = artifacts.explainers["CFGExplainer"].explain(graph, step_size=20)
+    print("\nMost important blocks:")
+    print(render_block_listing(cfg, explanation, top_k=4))
+
+    top = explanation.top_nodes(0.4).tolist()
+    print("\nPatterns in the important blocks:")
+    for finding in micro_analysis(cfg, top):
+        print(f"  {finding}")
+    for hypothesis in macro_analysis(cfg, top):
+        print(f"  {hypothesis}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

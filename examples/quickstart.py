@@ -1,0 +1,58 @@
+"""Quickstart: train the pipeline and explain one malware sample.
+
+Runs the whole CFGExplainer workflow end to end on a small synthetic
+corpus — generate ACFGs, train the GCN malware classifier, train the
+explainer, and print the most important basic blocks of one Bagle
+sample together with the accuracy retained by its top-20% subgraph.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import FAMILIES, ExperimentConfig, run_pipeline
+from repro.explain import subgraph_accuracy
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        samples_per_family=8,
+        gnn_epochs=60,
+        explainer_epochs=150,
+    )
+    print("Training the pipeline (GNN classifier + CFGExplainer)...")
+    artifacts = run_pipeline(config, verbose=False)
+    print(f"GNN test accuracy: {artifacts.gnn_test_accuracy:.1%}\n")
+
+    # Pick one malware graph from the held-out test set.
+    graph = artifacts.test_set.of_family("Bagle")[0]
+    sample = artifacts.sample_for(graph.name)
+    explainer = artifacts.explainers["CFGExplainer"]
+
+    explanation = explainer.explain(graph, step_size=10)
+    predicted = FAMILIES[explanation.predicted_class]
+    print(f"Sample {graph.name}: {graph.n_real} basic blocks, "
+          f"classified as {predicted} (truth: {graph.family})")
+
+    print("\nTop 5 most important basic blocks:")
+    for rank, node in enumerate(explanation.node_order[:5], start=1):
+        block = sample.cfg.blocks[node]
+        listing = "; ".join(str(i) for i in block.instructions[:4])
+        suffix = " ..." if len(block.instructions) > 4 else ""
+        print(f"  {rank}. block {node:3d}  [{listing}{suffix}]")
+
+    accuracy = subgraph_accuracy(artifacts.gnn, [explanation], fraction=0.2)
+    kept = explanation.top_nodes(0.2).size
+    print(
+        f"\nKeeping only the top 20% blocks ({kept}/{graph.n_real}) "
+        f"{'preserves' if accuracy == 1.0 else 'does not preserve'} "
+        f"the original classification."
+    )
+    np.set_printoptions(precision=3, suppress=True)
+    print(f"Node importance scores (first 10): {explanation.node_scores[:10]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Reproduce the paper's full evaluation section in one run.
+
+Generates every artifact of Section V on the synthetic corpus:
+
+* Figure 2 — per-family accuracy-vs-subgraph-size curves,
+* Table III — top-10% / top-20% accuracy and AUC per family,
+* Table IV — offline training time and per-explanation time,
+* Table V — micro-level patterns found in top-20% subgraphs.
+
+This is the heavyweight example (several minutes on CPU).  Pass
+``--quick`` for a reduced configuration.
+
+Usage::
+
+    python examples/reproduce_evaluation.py [--quick]
+"""
+
+import sys
+
+from repro import ExperimentConfig, run_pipeline
+from repro.analysis import build_family_reports
+from repro.analysis.report import format_table_v
+from repro.eval import (
+    build_table3,
+    format_figure2,
+    format_table3,
+    format_table4,
+    measure_timings,
+    sweep_all_families,
+)
+
+
+def main(quick: bool = False) -> None:
+    config = (
+        ExperimentConfig(
+            samples_per_family=6,
+            gnn_epochs=50,
+            explainer_epochs=120,
+            subgraphx_iterations=10,
+        )
+        if quick
+        else ExperimentConfig()
+    )
+
+    print("=== Pipeline (corpus, GNN, offline explainer training) ===")
+    artifacts = run_pipeline(config, verbose=False)
+    print(f"GNN test accuracy: {artifacts.gnn_test_accuracy:.1%} "
+          f"(paper: 98% on the real YANCFG dataset)\n")
+
+    print("=== Figure 2: accuracy of pruned subgraphs, per family ===")
+    sweeps = sweep_all_families(
+        artifacts.gnn, artifacts.explainers, artifacts.test_set,
+        step_size=config.step_size,
+    )
+    print(format_figure2(sweeps))
+
+    print("=== Table III: top 10% / 20% accuracy and AUC ===")
+    print(format_table3(build_table3(sweeps)))
+
+    print("\n=== Table IV: explanation time ===")
+    timing_graphs = artifacts.test_set.graphs[: min(8, len(artifacts.test_set))]
+    timings = measure_timings(
+        artifacts.explainers, timing_graphs, artifacts.offline_training_seconds
+    )
+    print(format_table4(timings))
+
+    print("\n=== Table V: patterns in top-20% subgraphs (CFGExplainer) ===")
+    cfgexplainer = artifacts.explainers["CFGExplainer"]
+    pairs = []
+    for family in artifacts.test_set.families:
+        for graph in artifacts.test_set.of_family(family)[:2]:
+            sample = artifacts.sample_for(graph.name)
+            pairs.append((sample, cfgexplainer.explain(graph)))
+    print(format_table_v(build_family_reports(pairs)))
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,94 @@
+"""CFGExplainer reproduction (Herath et al., DSN 2022).
+
+Public API re-exports the pieces a downstream user needs: the corpus
+generator, ACFG pipeline, GNN classifier, CFGExplainer, the baseline
+explainers, metrics, and the evaluation harness.
+
+Quickstart::
+
+    from repro import run_pipeline, sweep_all_families
+
+    artifacts = run_pipeline()
+    sweeps = sweep_all_families(
+        artifacts.gnn, artifacts.explainers, artifacts.test_set
+    )
+"""
+
+from repro.acfg import (
+    ACFG,
+    ACFGDataset,
+    FEATURE_NAMES,
+    FeatureScaler,
+    from_sample,
+    train_test_split,
+)
+from repro.baselines import (
+    DegreeExplainer,
+    GNNExplainerBaseline,
+    PGExplainerBaseline,
+    RandomExplainer,
+    SubgraphXBaseline,
+)
+from repro.core import (
+    CFGExplainer,
+    CFGExplainerModel,
+    interpret,
+    train_cfgexplainer,
+)
+from repro.eval import (
+    PAPER_SCALE_CONFIG,
+    ExperimentConfig,
+    PipelineArtifacts,
+    run_pipeline,
+    sweep_all_families,
+)
+from repro.explain import (
+    Explanation,
+    accuracy_auc,
+    fidelity_minus_acc,
+    fidelity_plus_acc,
+    sparsity,
+    subgraph_accuracy,
+    sweep_accuracy_curve,
+)
+from repro.gnn import GCNClassifier, evaluate_accuracy, train_gnn
+from repro.malgen import FAMILIES, generate_corpus, generate_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACFG",
+    "ACFGDataset",
+    "FEATURE_NAMES",
+    "FeatureScaler",
+    "from_sample",
+    "train_test_split",
+    "GNNExplainerBaseline",
+    "PGExplainerBaseline",
+    "SubgraphXBaseline",
+    "RandomExplainer",
+    "DegreeExplainer",
+    "CFGExplainer",
+    "CFGExplainerModel",
+    "interpret",
+    "train_cfgexplainer",
+    "ExperimentConfig",
+    "PAPER_SCALE_CONFIG",
+    "PipelineArtifacts",
+    "run_pipeline",
+    "sweep_all_families",
+    "Explanation",
+    "subgraph_accuracy",
+    "sweep_accuracy_curve",
+    "accuracy_auc",
+    "fidelity_minus_acc",
+    "fidelity_plus_acc",
+    "sparsity",
+    "GCNClassifier",
+    "train_gnn",
+    "evaluate_accuracy",
+    "FAMILIES",
+    "generate_corpus",
+    "generate_program",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Attributed Control Flow Graphs: Table I features, padding, datasets."""
+
+from repro.acfg.features import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    block_features,
+    cfg_feature_matrix,
+)
+from repro.acfg.graph import ACFG, from_sample
+from repro.acfg.dataset import ACFGDataset, FeatureScaler, train_test_split
+
+__all__ = [
+    "FEATURE_NAMES",
+    "NUM_FEATURES",
+    "block_features",
+    "cfg_feature_matrix",
+    "ACFG",
+    "from_sample",
+    "ACFGDataset",
+    "FeatureScaler",
+    "train_test_split",
+]

@@ -1,0 +1,172 @@
+"""Dataset assembly: corpus → padded ACFGs, scaling, splits, persistence."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.acfg.graph import ACFG, from_sample
+from repro.malgen.corpus import LabeledSample
+from repro.malgen.families import FAMILIES
+
+__all__ = ["FeatureScaler", "ACFGDataset", "train_test_split"]
+
+
+@dataclass
+class FeatureScaler:
+    """log1p + max-scaling fitted on training graphs.
+
+    Raw Table I features are heavy-tailed counts; GCNs train far better
+    on compressed, bounded inputs.  Padding rows stay exactly zero under
+    this transform (log1p(0) = 0), preserving the paper's zero-feature
+    padding semantics.
+    """
+
+    scale: np.ndarray | None = None
+
+    def fit(self, graphs: list[ACFG]) -> "FeatureScaler":
+        if not graphs:
+            raise ValueError("cannot fit scaler on empty dataset")
+        stacked = np.vstack([np.log1p(g.features[: g.n_real]) for g in graphs])
+        scale = stacked.max(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale = scale
+        return self
+
+    def transform(self, graph: ACFG) -> ACFG:
+        if self.scale is None:
+            raise RuntimeError("scaler not fitted")
+        transformed = np.log1p(graph.features) / self.scale
+        from dataclasses import replace
+
+        return replace(graph, features=transformed)
+
+
+class ACFGDataset:
+    """A list of equally padded ACFGs plus class metadata."""
+
+    def __init__(self, graphs: list[ACFG], families: tuple[str, ...] = FAMILIES):
+        if not graphs:
+            raise ValueError("dataset needs at least one graph")
+        sizes = {g.n for g in graphs}
+        if len(sizes) != 1:
+            raise ValueError(f"graphs must share a padded size, got {sorted(sizes)}")
+        self.graphs = list(graphs)
+        self.families = tuple(families)
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: list[LabeledSample],
+        pad_to: int | None = None,
+        families: tuple[str, ...] = FAMILIES,
+    ) -> "ACFGDataset":
+        """Convert a generated corpus, padding all graphs to a common N."""
+        graphs = [from_sample(sample) for sample in corpus]
+        max_nodes = max(g.n for g in graphs)
+        if pad_to is None:
+            pad_to = max_nodes
+        elif pad_to < max_nodes:
+            raise ValueError(
+                f"pad_to={pad_to} smaller than largest graph ({max_nodes} nodes)"
+            )
+        return cls([g.padded(pad_to) for g in graphs], families)
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __getitem__(self, index: int) -> ACFG:
+        return self.graphs[index]
+
+    def __iter__(self):
+        return iter(self.graphs)
+
+    @property
+    def n(self) -> int:
+        """Common padded node count."""
+        return self.graphs[0].n
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.families)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([g.label for g in self.graphs], dtype=int)
+
+    def of_family(self, family: str) -> list[ACFG]:
+        return [g for g in self.graphs if g.family == family]
+
+    def scaled(self, scaler: FeatureScaler) -> "ACFGDataset":
+        return ACFGDataset([scaler.transform(g) for g in self.graphs], self.families)
+
+    # ------------------------------------------------------------------
+    # persistence (npz + json sidecar)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {}
+        meta = {"families": list(self.families), "graphs": []}
+        for i, g in enumerate(self.graphs):
+            arrays[f"adj_{i}"] = g.adjacency
+            arrays[f"feat_{i}"] = g.features
+            meta["graphs"].append(
+                {
+                    "label": g.label,
+                    "family": g.family,
+                    "name": g.name,
+                    "n_real": g.n_real,
+                    "block_tags": [sorted(tags) for tags in g.block_tags],
+                }
+            )
+        np.savez_compressed(path.with_suffix(".npz"), **arrays)
+        path.with_suffix(".json").write_text(json.dumps(meta))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ACFGDataset":
+        path = Path(path)
+        arrays = np.load(path.with_suffix(".npz"))
+        meta = json.loads(path.with_suffix(".json").read_text())
+        graphs = []
+        for i, info in enumerate(meta["graphs"]):
+            graphs.append(
+                ACFG(
+                    adjacency=arrays[f"adj_{i}"],
+                    features=arrays[f"feat_{i}"],
+                    label=info["label"],
+                    family=info["family"],
+                    name=info["name"],
+                    n_real=info["n_real"],
+                    block_tags=tuple(frozenset(t) for t in info["block_tags"]),
+                )
+            )
+        return cls(graphs, tuple(meta["families"]))
+
+
+def train_test_split(
+    dataset: ACFGDataset, test_fraction: float = 0.25, seed: int = 0
+) -> tuple[ACFGDataset, ACFGDataset]:
+    """Stratified split: the same fraction of every family goes to test."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    train: list[ACFG] = []
+    test: list[ACFG] = []
+    for family in dataset.families:
+        members = dataset.of_family(family)
+        if not members:
+            continue
+        order = rng.permutation(len(members))
+        n_test = max(1, int(round(test_fraction * len(members))))
+        if n_test >= len(members):
+            n_test = len(members) - 1
+        test_indices = set(order[:n_test].tolist())
+        for i, graph in enumerate(members):
+            (test if i in test_indices else train).append(graph)
+    return (
+        ACFGDataset(train, dataset.families),
+        ACFGDataset(test, dataset.families),
+    )

@@ -1,0 +1,80 @@
+"""Block-level features — exactly the 12 attributes of the paper's Table I.
+
+Ten are generated from the code sequence (constant counts and counts of
+each instruction category) and two from the node structure (# offspring,
+i.e. the out-degree, and # instructions in the vertex).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.disasm.cfg import CFG, BasicBlock
+from repro.disasm.isa import InstructionCategory
+
+__all__ = ["FEATURE_NAMES", "NUM_FEATURES", "block_features", "cfg_feature_matrix"]
+
+#: Order matches Table I top-to-bottom.
+FEATURE_NAMES: tuple[str, ...] = (
+    "numeric_constants",
+    "string_constants",
+    "transfer_instructions",
+    "call_instructions",
+    "arithmetic_instructions",
+    "compare_instructions",
+    "mov_instructions",
+    "termination_instructions",
+    "data_declaration_instructions",
+    "total_instructions",
+    "offspring",
+    "instructions_in_vertex",
+)
+
+NUM_FEATURES: int = len(FEATURE_NAMES)
+
+_CATEGORY_FEATURES: tuple[tuple[int, InstructionCategory], ...] = (
+    (2, InstructionCategory.TRANSFER),
+    (3, InstructionCategory.CALL),
+    (4, InstructionCategory.ARITHMETIC),
+    (5, InstructionCategory.COMPARE),
+    (6, InstructionCategory.MOV),
+    (7, InstructionCategory.TERMINATION),
+    (8, InstructionCategory.DATA_DECLARATION),
+)
+
+
+def block_features(block: BasicBlock, out_degree: int) -> np.ndarray:
+    """The 12-dimensional feature vector for one basic block."""
+    features = np.zeros(NUM_FEATURES, dtype=np.float64)
+    for instruction in block.instructions:
+        features[0] += instruction.numeric_constant_count
+        features[1] += instruction.string_constant_count
+        category = instruction.category
+        for index, wanted in _CATEGORY_FEATURES:
+            if category is wanted:
+                features[index] += 1
+                break
+    features[9] = len(block.instructions)
+    features[10] = out_degree
+    features[11] = len(block.instructions)
+    return features
+
+
+def cfg_feature_matrix(cfg: CFG) -> np.ndarray:
+    """Stack block features into the paper's ``X ∈ R^{N×d}`` matrix."""
+    if cfg.node_count == 0:
+        return np.zeros((0, NUM_FEATURES), dtype=np.float64)
+    # "# Offspring (The degree)": number of distinct successor blocks,
+    # matching the nonzero entries of the adjacency row.
+    out_degrees = np.zeros(cfg.node_count, dtype=int)
+    successor_sets: dict[int, set[int]] = {}
+    for source, target, _ in cfg.edges:
+        successor_sets.setdefault(source, set()).add(target)
+    for source, targets in successor_sets.items():
+        out_degrees[source] = len(targets)
+    return np.stack(
+        [
+            block_features(block, int(out_degrees[block.index]))
+            for block in cfg.blocks
+        ]
+    )

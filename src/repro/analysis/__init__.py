@@ -1,0 +1,31 @@
+"""Qualitative analysis of explanation subgraphs (Section V-D).
+
+Micro-level: detect the unique malware patterns the paper's analysts
+found in top-20% subgraphs — code manipulation, XOR obfuscation,
+semantic-NOP obfuscation, self-looping jumps.  Macro-level: hypothesize
+behaviour from the Windows API calls appearing in important blocks.
+"""
+
+from repro.analysis.micro import (
+    MicroFinding,
+    detect_code_manipulation,
+    detect_semantic_nop_obfuscation,
+    detect_self_loop,
+    detect_xor_obfuscation,
+    micro_analysis,
+)
+from repro.analysis.macro import BehaviorHypothesis, macro_analysis
+from repro.analysis.report import FamilyReport, build_family_reports
+
+__all__ = [
+    "MicroFinding",
+    "detect_code_manipulation",
+    "detect_xor_obfuscation",
+    "detect_semantic_nop_obfuscation",
+    "detect_self_loop",
+    "micro_analysis",
+    "BehaviorHypothesis",
+    "macro_analysis",
+    "FamilyReport",
+    "build_family_reports",
+]

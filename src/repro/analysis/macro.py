@@ -1,0 +1,135 @@
+"""Macro-level behaviour hypotheses from Windows API usage.
+
+The paper's analysts read the Windows API calls in the top-20% blocks
+and hypothesize behaviour (Ldpinch's thread/pipe/socket relay being the
+worked example).  This module mechanizes that: collect the API symbols
+called in the important blocks, bucket them by behaviour group, and
+match known multi-API behaviour signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disasm.cfg import CFG
+from repro.malgen.apis import group_of
+
+__all__ = ["BehaviorHypothesis", "BEHAVIOR_SIGNATURES", "macro_analysis"]
+
+
+@dataclass(frozen=True)
+class BehaviorHypothesis:
+    """One hypothesized behaviour with the API evidence supporting it."""
+
+    behavior: str
+    description: str
+    apis: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.behavior}: {self.description} (evidence: {', '.join(self.apis)})"
+
+
+#: Behaviour signatures: (name, description, required API subset).
+#: A signature fires when every listed API appears in the analyzed blocks.
+BEHAVIOR_SIGNATURES: tuple[tuple[str, str, frozenset[str]], ...] = (
+    (
+        "thread_relay",
+        "spawns threads that relay data between file handles and the network "
+        "(credential exfiltration pattern, cf. Ldpinch)",
+        frozenset({"CreateThread", "ReadFile", "send"}),
+    ),
+    (
+        "pipe_backdoor",
+        "creates pipes wired to a spawned process for remote command I/O",
+        frozenset({"CreatePipe", "CreateProcessA"}),
+    ),
+    (
+        "process_injection",
+        "writes code into another process and starts a remote thread",
+        frozenset({"OpenProcess", "WriteProcessMemory", "CreateRemoteThread"}),
+    ),
+    (
+        "registry_persistence",
+        "installs itself under a registry Run key",
+        frozenset({"RegOpenKeyExA", "RegSetValueExA"}),
+    ),
+    (
+        "credential_harvest",
+        "reads stored values from registry hives",
+        frozenset({"RegOpenKeyExA", "RegQueryValueExA"}),
+    ),
+    (
+        "network_backdoor",
+        "connects out and waits for commands",
+        frozenset({"socket", "connect", "recv"}),
+    ),
+    (
+        "mass_mailer",
+        "resolves hosts and blasts messages over fresh sockets",
+        frozenset({"gethostbyname", "socket", "send"}),
+    ),
+    (
+        "downloader",
+        "fetches a payload over HTTP and drops it to disk",
+        frozenset({"InternetOpenUrlA", "InternetReadFile"}),
+    ),
+    (
+        "keylogging",
+        "polls keyboard state to capture input",
+        frozenset({"GetAsyncKeyState"}),
+    ),
+    (
+        "self_replication",
+        "copies its own executable elsewhere",
+        frozenset({"GetModuleFileNameA", "CopyFileA"}),
+    ),
+    (
+        "service_install",
+        "registers itself as a Windows service",
+        frozenset({"OpenSCManagerA", "CreateServiceA"}),
+    ),
+    (
+        "anti_debug_timing",
+        "measures elapsed time to detect analysis environments",
+        frozenset({"QueryPerformanceCounter", "GetTickCount"}),
+    ),
+)
+
+
+def called_apis(cfg: CFG, block_indices: list[int] | None = None) -> list[str]:
+    """All API symbols called from the given blocks, in program order."""
+    if block_indices is None:
+        block_indices = list(range(cfg.node_count))
+    symbols = []
+    for index in block_indices:
+        for instruction in cfg.blocks[index].instructions:
+            symbol = instruction.api_symbol
+            if symbol is not None:
+                symbols.append(symbol)
+    return symbols
+
+
+def macro_analysis(
+    cfg: CFG, block_indices: list[int] | None = None
+) -> list[BehaviorHypothesis]:
+    """Behaviour hypotheses supported by the APIs in the given blocks."""
+    apis = set(called_apis(cfg, block_indices))
+    hypotheses = []
+    for behavior, description, required in BEHAVIOR_SIGNATURES:
+        if required <= apis:
+            hypotheses.append(
+                BehaviorHypothesis(behavior, description, tuple(sorted(required)))
+            )
+    return hypotheses
+
+
+def api_group_profile(
+    cfg: CFG, block_indices: list[int] | None = None
+) -> dict[str, int]:
+    """Count of API calls per behaviour group (process/file/network/...)."""
+    profile: dict[str, int] = {}
+    for symbol in called_apis(cfg, block_indices):
+        group = group_of(symbol)
+        if group is not None:
+            profile[group] = profile.get(group, 0) + 1
+    return profile

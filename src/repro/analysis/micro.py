@@ -1,0 +1,149 @@
+"""Micro-level static analysis of important basic blocks.
+
+Implements the four pattern detectors behind the paper's Table V:
+
+* **Code manipulation** — a ``call`` immediately followed by an
+  instruction that overwrites or consumes EAX, i.e. tampering with the
+  function's return value (``call sub_X; pop eax``,
+  ``call ds:Sleep; mov eax, [ebp+var_EC]``).
+* **XOR obfuscation** — XOR used for data mangling rather than the
+  compiler's self-zeroing idiom: XOR of two *different* registers, XOR
+  with an immediate key, or XOR against memory.
+* **Semantic-NOP obfuscation** — runs of NOPs and one-byte NOP aliases
+  (``mov edx, edx``, ``xchg dl, dl``).
+* **Self-looping jumps** — blocks that unconditionally jump to
+  themselves (spin/delay obfuscation the paper observed in Bagle and
+  Vundo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disasm.cfg import CFG, BasicBlock
+from repro.disasm.instruction import Instruction
+from repro.disasm.isa import is_register
+
+__all__ = [
+    "MicroFinding",
+    "detect_code_manipulation",
+    "detect_xor_obfuscation",
+    "detect_semantic_nop_obfuscation",
+    "detect_self_loop",
+    "micro_analysis",
+]
+
+#: Minimum consecutive semantic NOPs to call it a sled rather than noise.
+_NOP_SLED_THRESHOLD = 3
+
+
+@dataclass(frozen=True)
+class MicroFinding:
+    """One detected pattern: what, where, and the evidencing instructions."""
+
+    pattern: str
+    block_index: int
+    evidence: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"[{self.pattern}] block {self.block_index}: {'; '.join(self.evidence)}"
+
+
+def _touches_eax(instruction: Instruction) -> bool:
+    """Whether the instruction writes EAX/AX/AL/AH as its destination."""
+    if not instruction.operands:
+        return instruction.mnemonic == "pop"  # bare pop never occurs; safe
+    first = instruction.operands[0].lower()
+    return is_register(first) and first in {"eax", "ax", "al", "ah"}
+
+
+def detect_code_manipulation(block: BasicBlock) -> list[MicroFinding]:
+    """Call immediately followed by EAX tampering."""
+    findings = []
+    instructions = block.instructions
+    for previous, current in zip(instructions[:-1], instructions[1:]):
+        if not previous.is_call:
+            continue
+        manipulates = (
+            (current.mnemonic == "pop" and _touches_eax(current))
+            or (
+                current.mnemonic in {"mov", "movzx", "movsx"}
+                and _touches_eax(current)
+            )
+        )
+        if manipulates:
+            findings.append(
+                MicroFinding(
+                    "code_manipulation",
+                    block.index,
+                    (str(previous), str(current)),
+                )
+            )
+    return findings
+
+
+def detect_xor_obfuscation(block: BasicBlock) -> list[MicroFinding]:
+    """XOR uses that mangle data (excluding the self-zeroing idiom)."""
+    findings = []
+    for instruction in block.instructions:
+        if instruction.mnemonic != "xor" or len(instruction.operands) != 2:
+            continue
+        dst, src = (op.lower() for op in instruction.operands)
+        if dst == src:
+            continue  # xor eax, eax — ordinary zeroing, not obfuscation
+        is_key = instruction.numeric_constant_count > 0
+        is_register_mix = is_register(dst) and is_register(src)
+        is_memory = dst.startswith("[") or src.startswith("[")
+        if is_key or is_register_mix or is_memory:
+            findings.append(
+                MicroFinding("xor_obfuscation", block.index, (str(instruction),))
+            )
+    return findings
+
+
+def detect_semantic_nop_obfuscation(block: BasicBlock) -> list[MicroFinding]:
+    """Runs of >= 3 consecutive semantic NOPs."""
+    findings = []
+    run: list[str] = []
+    for instruction in block.instructions:
+        if instruction.is_semantic_nop:
+            run.append(str(instruction))
+            continue
+        if len(run) >= _NOP_SLED_THRESHOLD:
+            findings.append(
+                MicroFinding("semantic_nop", block.index, tuple(run))
+            )
+        run = []
+    if len(run) >= _NOP_SLED_THRESHOLD:
+        findings.append(MicroFinding("semantic_nop", block.index, tuple(run)))
+    return findings
+
+
+def detect_self_loop(cfg: CFG, block: BasicBlock) -> list[MicroFinding]:
+    """Block whose terminator unconditionally jumps to itself."""
+    terminator = block.terminator
+    if not terminator.is_unconditional_jump:
+        return []
+    if block.index in cfg.successors(block.index):
+        return [
+            MicroFinding(
+                "self_loop_jump", block.index, (str(terminator),)
+            )
+        ]
+    return []
+
+
+def micro_analysis(
+    cfg: CFG, block_indices: list[int] | None = None
+) -> list[MicroFinding]:
+    """Run every detector over the given blocks (all blocks by default)."""
+    if block_indices is None:
+        block_indices = list(range(cfg.node_count))
+    findings: list[MicroFinding] = []
+    for index in block_indices:
+        block = cfg.blocks[index]
+        findings.extend(detect_code_manipulation(block))
+        findings.extend(detect_xor_obfuscation(block))
+        findings.extend(detect_semantic_nop_obfuscation(block))
+        findings.extend(detect_self_loop(cfg, block))
+    return findings

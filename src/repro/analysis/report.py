@@ -1,0 +1,68 @@
+"""Table V-style reports: per-family patterns found in top-k subgraphs."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.macro import BehaviorHypothesis, macro_analysis
+from repro.analysis.micro import MicroFinding, micro_analysis
+from repro.explain.explanation import Explanation
+from repro.malgen.corpus import LabeledSample
+
+__all__ = ["FamilyReport", "build_family_reports", "format_table_v"]
+
+
+@dataclass
+class FamilyReport:
+    """Aggregated qualitative findings for one ACFG family."""
+
+    family: str
+    samples_analyzed: int = 0
+    pattern_counts: Counter = field(default_factory=Counter)
+    example_evidence: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    behaviors: Counter = field(default_factory=Counter)
+
+    def top_patterns(self, k: int = 3) -> list[tuple[str, int]]:
+        return self.pattern_counts.most_common(k)
+
+
+def analyze_sample(
+    sample: LabeledSample, explanation: Explanation, fraction: float = 0.2
+) -> tuple[list[MicroFinding], list[BehaviorHypothesis]]:
+    """Micro + macro analysis of one sample's top-``fraction`` blocks."""
+    top = explanation.top_nodes(fraction).tolist()
+    return micro_analysis(sample.cfg, top), macro_analysis(sample.cfg, top)
+
+
+def build_family_reports(
+    pairs: list[tuple[LabeledSample, Explanation]], fraction: float = 0.2
+) -> dict[str, FamilyReport]:
+    """Aggregate per-family reports over (sample, explanation) pairs."""
+    reports: dict[str, FamilyReport] = {}
+    for sample, explanation in pairs:
+        report = reports.setdefault(sample.family, FamilyReport(sample.family))
+        report.samples_analyzed += 1
+        findings, behaviors = analyze_sample(sample, explanation, fraction)
+        for finding in findings:
+            report.pattern_counts[finding.pattern] += 1
+            report.example_evidence.setdefault(finding.pattern, finding.evidence)
+        for hypothesis in behaviors:
+            report.behaviors[hypothesis.behavior] += 1
+    return reports
+
+
+def format_table_v(reports: dict[str, FamilyReport]) -> str:
+    """Render reports as the paper's Table V layout."""
+    lines = [
+        f"{'Family':10s} | {'Unique patterns (count)':45s} | Example",
+        "-" * 100,
+    ]
+    for family, report in sorted(reports.items()):
+        patterns = ", ".join(f"{p} ({c})" for p, c in report.top_patterns())
+        example_pattern = (
+            report.top_patterns(1)[0][0] if report.pattern_counts else ""
+        )
+        example = "; ".join(report.example_evidence.get(example_pattern, ())[:3])
+        lines.append(f"{family:10s} | {patterns:45s} | {example}")
+    return "\n".join(lines)

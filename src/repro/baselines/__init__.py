@@ -1,0 +1,27 @@
+"""Baseline explainers the paper compares against (Section II-C).
+
+All three are implemented from their original papers' descriptions:
+
+* :class:`GNNExplainerBaseline` — per-graph edge-mask optimization
+  maximizing mutual information (Ying et al., NeurIPS 2019).
+* :class:`PGExplainerBaseline` — a globally trained generative mask
+  predictor over edge embeddings (Luo et al., NeurIPS 2020).
+* :class:`SubgraphXBaseline` — Monte Carlo tree search over node-pruned
+  subgraphs scored with Shapley values (Yuan et al., ICML 2021).
+
+Plus two sanity baselines (random and degree ordering) used by the
+ablation benchmarks.
+"""
+
+from repro.baselines.gnnexplainer import GNNExplainerBaseline
+from repro.baselines.pgexplainer import PGExplainerBaseline
+from repro.baselines.subgraphx import SubgraphXBaseline
+from repro.baselines.simple import DegreeExplainer, RandomExplainer
+
+__all__ = [
+    "GNNExplainerBaseline",
+    "PGExplainerBaseline",
+    "SubgraphXBaseline",
+    "RandomExplainer",
+    "DegreeExplainer",
+]

@@ -1,0 +1,40 @@
+"""Assembly-level substrate: instruction model, programs, CFG recovery.
+
+This package replaces the IDA Pro / Ghidra stage of the paper's pipeline:
+it defines an x86-like instruction set (rich enough to express every
+pattern the paper's qualitative analysis discusses — XOR obfuscation,
+semantic NOPs, call/return manipulation, Windows API calls), a program
+container with labels, and a leader-based control-flow-graph builder
+producing the typed edges the paper uses (fallthrough/jump = 1, call = 2).
+"""
+
+from repro.disasm.isa import (
+    CONDITIONAL_JUMPS,
+    InstructionCategory,
+    REGISTERS,
+    UNCONDITIONAL_JUMPS,
+    category_of,
+    is_register,
+)
+from repro.disasm.instruction import Instruction
+from repro.disasm.program import Program, ProgramBuilder
+from repro.disasm.cfg import CFG, BasicBlock, EdgeKind, build_cfg
+from repro.disasm.parser import ParseError, parse_program
+
+__all__ = [
+    "InstructionCategory",
+    "REGISTERS",
+    "CONDITIONAL_JUMPS",
+    "UNCONDITIONAL_JUMPS",
+    "category_of",
+    "is_register",
+    "Instruction",
+    "Program",
+    "ProgramBuilder",
+    "CFG",
+    "BasicBlock",
+    "EdgeKind",
+    "build_cfg",
+    "parse_program",
+    "ParseError",
+]

@@ -1,0 +1,99 @@
+"""Instruction-set definitions for the synthetic x86-like assembly.
+
+The categories mirror Table I of the paper ("# Transfer instructions",
+"# Call instructions", ...); every mnemonic the corpus generator can
+emit maps to exactly one category.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "InstructionCategory",
+    "REGISTERS",
+    "CONDITIONAL_JUMPS",
+    "UNCONDITIONAL_JUMPS",
+    "MNEMONIC_CATEGORIES",
+    "category_of",
+    "is_register",
+]
+
+
+class InstructionCategory(enum.Enum):
+    """Block-level feature buckets from Table I of the paper."""
+
+    TRANSFER = "transfer"
+    CALL = "call"
+    ARITHMETIC = "arithmetic"
+    COMPARE = "compare"
+    MOV = "mov"
+    TERMINATION = "termination"
+    DATA_DECLARATION = "data_declaration"
+    OTHER = "other"
+
+
+#: General-purpose x86 registers (32-bit plus common sub-registers).
+REGISTERS: frozenset[str] = frozenset(
+    {
+        "eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp",
+        "ax", "bx", "cx", "dx", "si", "di", "bp", "sp",
+        "al", "ah", "bl", "bh", "cl", "ch", "dl", "dh",
+    }
+)
+
+CONDITIONAL_JUMPS: frozenset[str] = frozenset(
+    {"je", "jne", "jz", "jnz", "jg", "jge", "jl", "jle", "ja", "jae",
+     "jb", "jbe", "js", "jns", "jo", "jno", "jc", "jnc", "loop", "loopne"}
+)
+
+UNCONDITIONAL_JUMPS: frozenset[str] = frozenset({"jmp"})
+
+_TRANSFER = CONDITIONAL_JUMPS | UNCONDITIONAL_JUMPS
+
+_ARITHMETIC = frozenset(
+    {"add", "sub", "mul", "imul", "div", "idiv", "inc", "dec",
+     "xor", "or", "and", "not", "neg", "shl", "shr", "sar", "sal",
+     "rol", "ror", "adc", "sbb"}
+)
+
+_COMPARE = frozenset({"cmp", "test"})
+
+_MOV = frozenset({"mov", "movzx", "movsx", "lea", "xchg", "push", "pop"})
+
+_TERMINATION = frozenset({"ret", "retn", "hlt", "iret"})
+
+_DATA_DECLARATION = frozenset({"db", "dw", "dd", "dq"})
+
+_OTHER = frozenset({"nop", "int", "cdq", "std", "cld", "leave", "sti", "cli"})
+
+MNEMONIC_CATEGORIES: dict[str, InstructionCategory] = {}
+for _names, _category in (
+    (_TRANSFER, InstructionCategory.TRANSFER),
+    ({"call"}, InstructionCategory.CALL),
+    (_ARITHMETIC, InstructionCategory.ARITHMETIC),
+    (_COMPARE, InstructionCategory.COMPARE),
+    (_MOV, InstructionCategory.MOV),
+    (_TERMINATION, InstructionCategory.TERMINATION),
+    (_DATA_DECLARATION, InstructionCategory.DATA_DECLARATION),
+    (_OTHER, InstructionCategory.OTHER),
+):
+    for _name in _names:
+        MNEMONIC_CATEGORIES[_name] = _category
+
+
+def category_of(mnemonic: str) -> InstructionCategory:
+    """Category of ``mnemonic``; unknown mnemonics raise ``ValueError``.
+
+    Raising (rather than defaulting to OTHER) catches typos in the corpus
+    generators, which would otherwise silently skew the Table I features.
+    """
+    try:
+        return MNEMONIC_CATEGORIES[mnemonic.lower()]
+    except KeyError:
+        raise ValueError(f"unknown mnemonic: {mnemonic!r}") from None
+
+
+def is_register(operand: str) -> bool:
+    """Whether ``operand`` is a bare general-purpose register name."""
+    return operand.lower() in REGISTERS

@@ -1,0 +1,95 @@
+"""Parse textual assembly listings into :class:`Program` objects.
+
+Accepts the same format :meth:`Program.to_text` emits — and, more
+importantly, the flat listings an analyst can export from a
+disassembler: one instruction per line, labels as ``name:`` lines,
+``;`` comments, case-insensitive mnemonics.  This is the entry point
+for running the pipeline on *your own* disassembly instead of the
+synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from repro.disasm.instruction import Instruction
+from repro.disasm.program import Program
+
+__all__ = ["parse_program", "ParseError"]
+
+
+class ParseError(ValueError):
+    """A line could not be parsed; carries the 1-based line number."""
+
+    def __init__(self, line_number: int, line: str, reason: str):
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+def _split_operands(text: str) -> tuple[str, ...]:
+    """Split an operand list on commas, respecting quotes and brackets."""
+    operands: list[str] = []
+    current: list[str] = []
+    depth = 0
+    quote: str | None = None
+    for char in text:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if quote:
+        raise ValueError("unterminated string literal")
+    if depth != 0:
+        raise ValueError("unbalanced brackets")
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return tuple(operands)
+
+
+def parse_program(text: str, name: str = "parsed") -> Program:
+    """Parse an assembly listing into a :class:`Program`.
+
+    Raises :class:`ParseError` on malformed lines and ``ValueError`` on
+    unknown mnemonics (via :class:`Instruction` validation).
+    """
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label:
+                raise ParseError(line_number, raw, "empty label")
+            if label in labels:
+                raise ParseError(line_number, raw, f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        try:
+            operands = _split_operands(parts[1]) if len(parts) > 1 else ()
+            instructions.append(Instruction(mnemonic, operands))
+        except ValueError as error:
+            raise ParseError(line_number, raw, str(error)) from error
+    # Anchor trailing labels the same way ProgramBuilder does.
+    if any(index == len(instructions) for index in labels.values()):
+        instructions.append(Instruction("ret"))
+    return Program(instructions, labels, name)

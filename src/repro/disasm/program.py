@@ -1,0 +1,102 @@
+"""Program container and a small builder DSL used by the corpus generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disasm.instruction import Instruction
+
+__all__ = ["Program", "ProgramBuilder"]
+
+
+@dataclass
+class Program:
+    """A linear sequence of instructions plus label → index mapping.
+
+    This is the artifact a disassembler would hand to CFG recovery:
+    instruction at ``labels[name]`` is the first instruction of the
+    region named ``name``.
+    """
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self):
+        for label, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise ValueError(
+                    f"label {label!r} points at {index}, outside the program"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def label_at(self, index: int) -> list[str]:
+        """All labels attached to instruction ``index``."""
+        return [name for name, i in self.labels.items() if i == index]
+
+    def to_text(self) -> str:
+        """Disassembly-style listing (labels on their own lines)."""
+        by_index: dict[int, list[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines: list[str] = []
+        for i, instruction in enumerate(self.instructions):
+            for name in sorted(by_index.get(i, [])):
+                lines.append(f"{name}:")
+            lines.append(f"    {instruction}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Incremental program construction with forward label references.
+
+    >>> b = ProgramBuilder("demo")
+    >>> b.emit("cmp", "eax", "0")
+    >>> b.emit("je", "done")
+    >>> b.emit("inc", "eax")
+    >>> b.label("done")
+    >>> b.emit("ret")
+    >>> program = b.build()
+    """
+
+    def __init__(self, name: str = "program"):
+        self._name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._label_counter = 0
+
+    def emit(self, mnemonic: str, *operands: str) -> None:
+        self._instructions.append(Instruction(mnemonic, tuple(operands)))
+
+    def emit_instruction(self, instruction: Instruction) -> None:
+        self._instructions.append(instruction)
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise ValueError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._instructions)
+
+    def fresh_label(self, prefix: str = "loc") -> str:
+        """A program-unique label name (not yet placed)."""
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter:04d}"
+
+    def build(self) -> Program:
+        # A trailing label would point one past the end; anchor it by
+        # terminating the program, which a real disassembler also sees.
+        if any(i == len(self._instructions) for i in self._labels.values()):
+            self.emit("ret")
+        unresolved = self._unresolved_targets()
+        if unresolved:
+            raise ValueError(f"jump/call targets never defined: {sorted(unresolved)}")
+        return Program(list(self._instructions), dict(self._labels), self._name)
+
+    def _unresolved_targets(self) -> set[str]:
+        wanted = {
+            instr.target
+            for instr in self._instructions
+            if instr.target is not None
+        }
+        return wanted - set(self._labels)

@@ -1,0 +1,34 @@
+"""End-to-end evaluation harness reproducing the paper's Section V."""
+
+from repro.eval.pipeline import (
+    ExperimentConfig,
+    PAPER_SCALE_CONFIG,
+    PipelineArtifacts,
+    run_pipeline,
+)
+from repro.eval.sweep import FamilySweep, sweep_all_families
+from repro.eval.tables import (
+    build_table3,
+    format_figure2,
+    format_table3,
+    format_table4,
+)
+from repro.eval.timing import ExplainerTiming, measure_timings
+from repro.eval.persistence import load_models_into, save_models
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_SCALE_CONFIG",
+    "PipelineArtifacts",
+    "run_pipeline",
+    "FamilySweep",
+    "sweep_all_families",
+    "build_table3",
+    "format_table3",
+    "format_table4",
+    "format_figure2",
+    "ExplainerTiming",
+    "measure_timings",
+    "save_models",
+    "load_models_into",
+]

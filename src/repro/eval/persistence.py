@@ -1,0 +1,67 @@
+"""Saving and restoring trained pipeline models.
+
+``run_pipeline`` takes a couple of minutes; analysts iterating on
+explanations shouldn't retrain for every script run.  ``save_models``
+writes the GNN, CFGExplainer's Θ, PGExplainer's predictor and the
+feature scaler to a directory; ``load_models_into`` restores them into
+a freshly built (untrained) pipeline of the same configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.pipeline import ExperimentConfig, PipelineArtifacts
+from repro.nn.serialize import load_module_into, save_module
+
+__all__ = ["save_models", "load_models_into"]
+
+
+def save_models(artifacts: PipelineArtifacts, directory: str | Path) -> None:
+    """Persist every trained component of the pipeline."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_module(artifacts.gnn, directory / "gnn.npz")
+    theta = artifacts.explainers["CFGExplainer"].theta
+    save_module(theta, directory / "theta.npz")
+    pg = artifacts.explainers["PGExplainer"]
+    save_module(pg.predictor, directory / "pg_predictor.npz")
+    np.save(directory / "scaler.npy", artifacts.scaler.scale)
+    (directory / "config.json").write_text(json.dumps(asdict(artifacts.config)))
+    (directory / "offline_seconds.json").write_text(
+        json.dumps(artifacts.offline_training_seconds)
+    )
+
+
+def load_models_into(
+    artifacts: PipelineArtifacts, directory: str | Path
+) -> PipelineArtifacts:
+    """Restore saved weights into ``artifacts`` (same configuration).
+
+    The artifacts must come from a pipeline built with the same
+    ``ExperimentConfig`` (shape mismatches raise).  Returns the mutated
+    artifacts for chaining.
+    """
+    directory = Path(directory)
+    stored = ExperimentConfig(**json.loads((directory / "config.json").read_text()))
+    current = artifacts.config
+    if tuple(stored.gnn_hidden) != tuple(current.gnn_hidden):  # JSON lists vs tuples
+        raise ValueError(
+            f"checkpoint GNN shape {stored.gnn_hidden} != config {current.gnn_hidden}"
+        )
+    load_module_into(artifacts.gnn, directory / "gnn.npz")
+    load_module_into(
+        artifacts.explainers["CFGExplainer"].theta, directory / "theta.npz"
+    )
+    load_module_into(
+        artifacts.explainers["PGExplainer"].predictor, directory / "pg_predictor.npz"
+    )
+    artifacts.scaler.scale = np.load(directory / "scaler.npy")
+    artifacts.offline_training_seconds.update(
+        json.loads((directory / "offline_seconds.json").read_text())
+    )
+    return artifacts

@@ -1,0 +1,33 @@
+"""Common explainer interface, explanation objects, and quality metrics."""
+
+from repro.explain.explanation import Explanation, SubgraphLevel
+from repro.explain.base import Explainer, RankingExplainer
+from repro.explain.metrics import (
+    accuracy_auc,
+    fidelity_minus_acc,
+    fidelity_plus_acc,
+    sparsity,
+    subgraph_accuracy,
+    sweep_accuracy_curve,
+)
+from repro.explain.groundtruth import (
+    SignatureRecovery,
+    mean_signature_recovery,
+    signature_recovery,
+)
+
+__all__ = [
+    "Explanation",
+    "SubgraphLevel",
+    "Explainer",
+    "RankingExplainer",
+    "subgraph_accuracy",
+    "sweep_accuracy_curve",
+    "accuracy_auc",
+    "fidelity_minus_acc",
+    "fidelity_plus_acc",
+    "sparsity",
+    "SignatureRecovery",
+    "signature_recovery",
+    "mean_signature_recovery",
+]

@@ -1,0 +1,95 @@
+"""Abstract explainer interface.
+
+Every explainer — CFGExplainer and the three baselines — ultimately
+produces a node importance ranking for one classified ACFG; the common
+machinery here turns a ranking into the paper's subgraph ladder so the
+sweep harness and metrics are written once.
+
+``RankingExplainer`` covers the one-shot explainers (GNNExplainer,
+PGExplainer, SubgraphX and the sanity baselines) that score nodes once.
+CFGExplainer overrides :meth:`explain` with the iterative re-scoring
+loop of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.acfg.graph import ACFG
+from repro.explain.explanation import Explanation, SubgraphLevel
+from repro.gnn.model import GCNClassifier
+
+__all__ = ["Explainer", "RankingExplainer", "ladder_from_order", "level_fractions"]
+
+
+def level_fractions(step_size: int) -> list[float]:
+    """Ladder fractions for a percentage step size: step, 2*step, ..., 100."""
+    if not 0 < step_size <= 100:
+        raise ValueError("step_size must be in (0, 100]")
+    if 100 % step_size != 0:
+        raise ValueError("step_size must divide 100 (paper's constraint)")
+    return [level / 100.0 for level in range(step_size, 101, step_size)]
+
+
+def ladder_from_order(
+    graph: ACFG, node_order: np.ndarray, step_size: int
+) -> list[SubgraphLevel]:
+    """Build the subgraph ladder for a fixed importance ordering."""
+    levels = []
+    for fraction in level_fractions(step_size):
+        count = max(1, int(round(fraction * graph.n_real)))
+        kept = np.asarray(node_order[:count], dtype=int)
+        levels.append(
+            SubgraphLevel(
+                fraction=fraction,
+                kept_nodes=kept,
+                adjacency=graph.subgraph_adjacency(kept),
+            )
+        )
+    return levels
+
+
+class Explainer(abc.ABC):
+    """Post-hoc explainer for a pre-trained GNN classifier."""
+
+    #: Human-readable name used in tables and reports.
+    name: str = "explainer"
+
+    def __init__(self, model: GCNClassifier):
+        self.model = model
+
+    @abc.abstractmethod
+    def explain(self, graph: ACFG, step_size: int = 10) -> Explanation:
+        """Explain the model's prediction on ``graph``."""
+
+    def _empty_graph_explanation(self, graph: ACFG) -> Explanation | None:
+        if graph.n_real == 0:
+            raise ValueError("cannot explain a graph with no real nodes")
+        return None
+
+
+class RankingExplainer(Explainer):
+    """Explainers that produce one static node ranking per graph."""
+
+    @abc.abstractmethod
+    def rank_nodes(self, graph: ACFG) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(node_order, node_scores)`` over real nodes.
+
+        ``node_order`` lists real-node indices most-important-first;
+        ``node_scores[i]`` is the importance score of real node ``i``
+        (aligned with node index, not with the ordering).
+        """
+
+    def explain(self, graph: ACFG, step_size: int = 10) -> Explanation:
+        self._empty_graph_explanation(graph)
+        node_order, node_scores = self.rank_nodes(graph)
+        return Explanation(
+            graph=graph,
+            explainer_name=self.name,
+            predicted_class=self.model.predict(graph),
+            node_order=node_order,
+            levels=ladder_from_order(graph, node_order, step_size),
+            node_scores=node_scores,
+        )

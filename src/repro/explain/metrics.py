@@ -1,0 +1,144 @@
+"""Quality metrics for explanations.
+
+``subgraph_accuracy`` and ``accuracy_auc`` are the paper's Section V-B
+metrics (Figure 2 / Table III).  ``fidelity_minus_acc`` and
+``fidelity_plus_acc`` follow the taxonomy survey [31] the paper cites
+for its fidelity discussion, and ``sparsity`` completes that metric set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acfg.graph import ACFG
+from repro.explain.explanation import Explanation
+from repro.gnn.model import GCNClassifier
+
+__all__ = [
+    "subgraph_accuracy",
+    "sweep_accuracy_curve",
+    "accuracy_auc",
+    "fidelity_minus_acc",
+    "fidelity_plus_acc",
+    "sparsity",
+]
+
+
+def _target_class(graph: ACFG, model: GCNClassifier, against_prediction: bool) -> int:
+    """What counts as 'correct' for a subgraph prediction.
+
+    The paper measures whether the subgraph still yields the malware
+    family identified for the full graph; using the GNN's own prediction
+    keeps the metric about *explanation faithfulness* rather than model
+    accuracy.  ``against_prediction=False`` compares to ground truth.
+    """
+    return model.predict(graph) if against_prediction else graph.label
+
+
+def subgraph_accuracy(
+    model: GCNClassifier,
+    explanations: list[Explanation],
+    fraction: float,
+    against_prediction: bool = True,
+) -> float:
+    """Fraction of explanations whose top-``fraction`` subgraph classifies
+    to the same class as the original graph."""
+    if not explanations:
+        raise ValueError("need at least one explanation")
+    correct = 0
+    for explanation in explanations:
+        level = explanation.level_at(fraction)
+        predicted = model.predict_subgraph(explanation.graph, level.kept_nodes)
+        target = _target_class(explanation.graph, model, against_prediction)
+        correct += int(predicted == target)
+    return correct / len(explanations)
+
+
+def sweep_accuracy_curve(
+    model: GCNClassifier,
+    explanations: list[Explanation],
+    against_prediction: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accuracy at every ladder fraction: the per-family Figure 2 curve.
+
+    Returns ``(fractions, accuracies)`` sorted by fraction.
+    """
+    if not explanations:
+        raise ValueError("need at least one explanation")
+    fractions = explanations[0].fractions
+    if any(e.fractions != fractions for e in explanations):
+        raise ValueError("explanations have mismatched ladder fractions")
+    accuracies = [
+        subgraph_accuracy(model, explanations, fraction, against_prediction)
+        for fraction in fractions
+    ]
+    return np.asarray(fractions), np.asarray(accuracies)
+
+
+def accuracy_auc(fractions: np.ndarray, accuracies: np.ndarray) -> float:
+    """Area under the accuracy-vs-size curve, x normalized to [0, 1].
+
+    The paper anchors the curve at (0, 0) — an empty subgraph classifies
+    nothing — so AUC ∈ [0, 1] and larger means smaller subgraphs retain
+    more accuracy.
+    """
+    fractions = np.asarray(fractions, dtype=float)
+    accuracies = np.asarray(accuracies, dtype=float)
+    if fractions.shape != accuracies.shape or fractions.size == 0:
+        raise ValueError("fractions and accuracies must be equal-length, nonempty")
+    order = np.argsort(fractions)
+    x = np.concatenate([[0.0], fractions[order]])
+    y = np.concatenate([[0.0], accuracies[order]])
+    return float(np.trapezoid(y, x))
+
+
+def fidelity_minus_acc(
+    model: GCNClassifier, explanations: list[Explanation], fraction: float
+) -> float:
+    """fidelity-^acc: accuracy drop from keeping ONLY the important part.
+
+    ``full_acc - kept_acc`` — closer to 0 (or negative) is better: the
+    explanation alone suffices to reproduce the prediction.
+    """
+    full = _full_accuracy(model, explanations)
+    kept = subgraph_accuracy(model, explanations, fraction, against_prediction=False)
+    return full - kept
+
+
+def fidelity_plus_acc(
+    model: GCNClassifier, explanations: list[Explanation], fraction: float
+) -> float:
+    """fidelity+^acc: accuracy drop from REMOVING the important part.
+
+    ``full_acc - removed_acc`` — larger is better: the explanation is
+    necessary for the prediction.
+    """
+    full = _full_accuracy(model, explanations)
+    correct = 0
+    for explanation in explanations:
+        graph = explanation.graph
+        important = set(explanation.top_nodes(fraction).tolist())
+        complement = np.array(
+            [i for i in range(graph.n_real) if i not in important], dtype=int
+        )
+        if complement.size == 0:
+            continue  # nothing left to classify; counts as incorrect
+        predicted = model.predict_subgraph(graph, complement)
+        correct += int(predicted == graph.label)
+    removed = correct / len(explanations)
+    return full - removed
+
+
+def sparsity(explanation: Explanation, fraction: float) -> float:
+    """Share of nodes NOT in the explanation (1 - kept / real)."""
+    kept = explanation.top_nodes(fraction).size
+    return 1.0 - kept / explanation.graph.n_real
+
+
+def _full_accuracy(model: GCNClassifier, explanations: list[Explanation]) -> float:
+    if not explanations:
+        raise ValueError("need at least one explanation")
+    correct = sum(
+        1 for e in explanations if model.predict(e.graph) == e.graph.label
+    )
+    return correct / len(explanations)

@@ -1,0 +1,21 @@
+"""The GNN malware classifier Φ = {Φ_e, Φ_c} from Section V-A.
+
+Φ_e stacks ReLU-activated graph-convolution layers (the paper uses
+sizes 1024/512/128 on a P100; defaults here are scaled down but
+configurable) and Φ_c is a dense softmax classifier that consumes all
+node embeddings via sum pooling.
+"""
+
+from repro.gnn.normalize import normalized_adjacency
+from repro.gnn.model import GCNClassifier
+from repro.gnn.dgcnn import DGCNNClassifier
+from repro.gnn.train import TrainingHistory, evaluate_accuracy, train_gnn
+
+__all__ = [
+    "normalized_adjacency",
+    "GCNClassifier",
+    "DGCNNClassifier",
+    "train_gnn",
+    "evaluate_accuracy",
+    "TrainingHistory",
+]

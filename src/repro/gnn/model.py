@@ -1,0 +1,184 @@
+"""The GCN classifier Φ = {Φ_e, Φ_c}.
+
+Architecture from Section V-A: Φ_e is three inter-connected GCN layers
+with ReLU activations (node embeddings are therefore non-negative, as
+the paper's ``Z ∈ R_{>=0}^{N×f}`` notation requires); Φ_c is a densely
+connected linear layer producing probabilities over the 12 families,
+consuming *all* node embeddings (sum pooling keeps that property while
+staying size-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acfg.graph import ACFG
+from repro.gnn.normalize import normalized_adjacency
+from repro.nn import Dense, GCNConv, Module, Tensor, no_grad
+
+__all__ = ["GCNClassifier"]
+
+
+@dataclass(frozen=True)
+class _ForwardCache:
+    """Precomputed per-graph inputs reused across forward passes."""
+
+    a_hat: np.ndarray
+    features: np.ndarray
+    mask: np.ndarray
+
+
+class GCNClassifier(Module):
+    """Φ = {Φ_e, Φ_c}: GCN embedder + dense softmax classifier.
+
+    Parameters
+    ----------
+    in_features:
+        Node feature dimension d (12 for Table I features).
+    hidden:
+        GCN layer widths; the last entry is the embedding size f.
+        The paper uses (1024, 512, 128); scaled-down defaults train in
+        seconds on CPU while keeping the three-layer shape.
+    num_classes:
+        Number of ACFG families (12 in the paper).
+    """
+
+    def __init__(
+        self,
+        in_features: int = 12,
+        hidden: tuple[int, ...] = (64, 48, 32),
+        num_classes: int = 12,
+        pooling: str = "max",
+        rng: np.random.Generator | None = None,
+    ):
+        if not hidden:
+            raise ValueError("need at least one GCN layer")
+        if pooling not in {"max", "sum", "mean"}:
+            raise ValueError(f"unknown pooling {pooling!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        widths = (in_features, *hidden)
+        self.convs = [
+            GCNConv(w_in, w_out, activation="relu", rng=rng)
+            for w_in, w_out in zip(widths[:-1], widths[1:])
+        ]
+        self.classifier = Dense(hidden[-1], num_classes, activation="linear", rng=rng)
+        if pooling == "sum":
+            # Sum pooling feeds the classifier activations ~n_real times
+            # larger than a single node's; shrink the initial weights so
+            # the first epochs don't saturate the softmax.
+            self.classifier.weight.data *= 0.1
+        self.pooling = pooling
+        self.in_features = in_features
+        self.embedding_size = hidden[-1]
+        self.num_classes = num_classes
+
+    # ------------------------------------------------------------------
+    # Φ_e : node embeddings
+    # ------------------------------------------------------------------
+    def embed(
+        self,
+        adjacency: np.ndarray,
+        features: np.ndarray,
+        active_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Node embeddings Z = Φ_e(A, X), shape ``[N, f]``.
+
+        ``active_mask`` marks real (non-padding, non-pruned) nodes;
+        inactive rows are forced to zero after every layer so padding
+        cannot leak bias terms into the pooled representation.
+        """
+        n = adjacency.shape[0]
+        if active_mask is None:
+            active_mask = np.ones(n, dtype=bool)
+        a_hat = Tensor(normalized_adjacency(adjacency, active_mask))
+        return self.embed_normalized(a_hat, features, active_mask)
+
+    def embed_normalized(
+        self,
+        a_hat: Tensor,
+        features: np.ndarray | Tensor,
+        active_mask: np.ndarray,
+    ) -> Tensor:
+        """Φ_e given an already-normalized propagation matrix.
+
+        ``a_hat`` may be a differentiable :class:`Tensor` — the mask-based
+        baseline explainers (GNNExplainer, PGExplainer) optimize soft edge
+        masks by backpropagating through this path into the mask while the
+        GCN weights stay frozen.
+        """
+        n = int(a_hat.shape[0])
+        mask = Tensor(np.asarray(active_mask, dtype=np.float64).reshape(n, 1))
+        z = Tensor.ensure(features)
+        for conv in self.convs:
+            z = conv(a_hat, z) * mask
+        return z
+
+    # ------------------------------------------------------------------
+    # Φ_c : classification from embeddings
+    # ------------------------------------------------------------------
+    def classify(self, z: Tensor) -> Tensor:
+        """Class probabilities from node embeddings (all nodes pooled).
+
+        Default pooling is per-dimension max: the graph is classified by
+        its strongest activations, i.e. by the *evidence-carrying*
+        blocks rather than by graph size.  That is what makes small
+        well-chosen subgraphs retain the original prediction (the
+        property the paper's Figure 2 rests on) while random subgraphs
+        lose it.  ReLU embeddings are non-negative, so padded/pruned
+        all-zero rows never win a maximum.
+        """
+        return self.logits(z).softmax(axis=-1)
+
+    def logits(self, z: Tensor) -> Tensor:
+        if self.pooling == "max":
+            pooled = z.max(axis=0, keepdims=True)
+        elif self.pooling == "sum":
+            pooled = z.sum(axis=0, keepdims=True)
+        else:  # mean over the padded size (constant divisor)
+            pooled = z.sum(axis=0, keepdims=True) * (1.0 / z.shape[0])
+        return self.classifier(pooled).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # conveniences over ACFG samples
+    # ------------------------------------------------------------------
+    def forward_acfg(self, graph: ACFG) -> tuple[Tensor, Tensor]:
+        """(Z, probabilities) for one ACFG, masking padded nodes."""
+        mask = np.zeros(graph.n, dtype=bool)
+        mask[: graph.n_real] = True
+        z = self.embed(graph.adjacency, graph.features, mask)
+        return z, self.classify(z)
+
+    def predict(self, graph: ACFG) -> int:
+        with no_grad():
+            _, probs = self.forward_acfg(graph)
+        return int(np.argmax(probs.numpy()))
+
+    def predict_proba(self, graph: ACFG) -> np.ndarray:
+        with no_grad():
+            _, probs = self.forward_acfg(graph)
+        return probs.numpy().copy()
+
+    def predict_subgraph(self, graph: ACFG, kept_nodes: np.ndarray) -> int:
+        """Prediction when only ``kept_nodes`` survive.
+
+        The subgraph keeps the [N, N] shape: removed nodes lose all
+        edges (Algorithm 2's masking) and their features, i.e. they
+        become indistinguishable from padding.
+        """
+        with no_grad():
+            probs = self.subgraph_proba(graph, kept_nodes)
+        return int(np.argmax(probs))
+
+    def subgraph_proba(self, graph: ACFG, kept_nodes: np.ndarray) -> np.ndarray:
+        kept_nodes = np.asarray(kept_nodes, dtype=int)
+        adjacency = graph.subgraph_adjacency(kept_nodes)
+        features = graph.masked_features(kept_nodes)
+        mask = np.zeros(graph.n, dtype=bool)
+        mask[kept_nodes] = True
+        mask[graph.n_real :] = False
+        with no_grad():
+            z = self.embed(adjacency, features, mask)
+            probs = self.classify(z)
+        return probs.numpy().copy()

@@ -1,0 +1,49 @@
+"""Adjacency normalization for graph convolution.
+
+Kipf & Welling propagation: ``A_hat = D^{-1/2} (A + I) D^{-1/2}``.
+Self-loops are added only to *active* nodes so that padded (or pruned)
+nodes — zero features, zero edges — stay exactly inert through Φ_e.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalized_adjacency"]
+
+
+def normalized_adjacency(
+    adjacency: np.ndarray, active_mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Symmetrically normalized adjacency with masked self-loops.
+
+    Parameters
+    ----------
+    adjacency:
+        Weighted adjacency ``A ∈ {0,1,2}^{N×N}`` (call edges weigh 2).
+    active_mask:
+        Boolean vector of length N; ``False`` rows get no self-loop.
+        Defaults to all-active.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    n = adjacency.shape[0]
+    if adjacency.shape != (n, n):
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    if active_mask is None:
+        active = np.ones(n, dtype=bool)
+    else:
+        active = np.asarray(active_mask, dtype=bool)
+        if active.shape != (n,):
+            raise ValueError(f"mask shape {active.shape} != ({n},)")
+
+    # Symmetrize: GCN message passing treats control-flow edges as
+    # bidirectional information channels, as PyG's GCNConv does for
+    # directed inputs.  Weights (1 jump / 2 call) are preserved.
+    symmetric = np.maximum(adjacency, adjacency.T)
+    with_loops = symmetric + np.diag(active.astype(np.float64))
+
+    degree = with_loops.sum(axis=1)
+    inv_sqrt = np.zeros_like(degree)
+    nonzero = degree > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degree[nonzero])
+    return with_loops * inv_sqrt[:, None] * inv_sqrt[None, :]

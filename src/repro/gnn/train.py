@@ -1,0 +1,73 @@
+"""Training loop for the GCN classifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acfg.dataset import ACFGDataset
+from repro.gnn.model import GCNClassifier
+from repro.nn import Adam, cross_entropy
+
+__all__ = ["TrainingHistory", "train_gnn", "evaluate_accuracy"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss and (optional) held-out accuracy."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train_gnn(
+    model: GCNClassifier,
+    train_set: ACFGDataset,
+    epochs: int = 30,
+    batch_size: int = 16,
+    lr: float = 0.005,
+    seed: int = 0,
+    eval_set: ACFGDataset | None = None,
+    verbose: bool = False,
+) -> TrainingHistory:
+    """Mini-batch Adam training with cross-entropy on true labels."""
+    if epochs <= 0 or batch_size <= 0:
+        raise ValueError("epochs and batch_size must be positive")
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    history = TrainingHistory()
+
+    for epoch in range(epochs):
+        order = rng.permutation(len(train_set))
+        epoch_loss = 0.0
+        for start in range(0, len(order), batch_size):
+            batch = order[start : start + batch_size]
+            optimizer.zero_grad()
+            batch_loss = None
+            for index in batch:
+                graph = train_set[int(index)]
+                z, _ = model.forward_acfg(graph)
+                loss = cross_entropy(model.logits(z), graph.label)
+                batch_loss = loss if batch_loss is None else batch_loss + loss
+            batch_loss = batch_loss * (1.0 / len(batch))
+            batch_loss.backward()
+            optimizer.step()
+            epoch_loss += batch_loss.item() * len(batch)
+        history.losses.append(epoch_loss / len(order))
+        if eval_set is not None:
+            history.accuracies.append(evaluate_accuracy(model, eval_set))
+        if verbose:
+            acc = f" acc={history.accuracies[-1]:.3f}" if eval_set else ""
+            print(f"epoch {epoch + 1:3d}  loss={history.losses[-1]:.4f}{acc}")
+    return history
+
+
+def evaluate_accuracy(model: GCNClassifier, dataset: ACFGDataset) -> float:
+    """Fraction of graphs whose argmax prediction matches the label."""
+    correct = sum(1 for g in dataset if model.predict(g) == g.label)
+    return correct / len(dataset)

@@ -1,0 +1,114 @@
+"""Windows API vocabulary used by the corpus generators.
+
+Grouped by the behaviours the paper's macro-level analysis (Section V-D)
+looks for: process/thread creation, file and pipe I/O, registry access,
+network communication, memory manipulation, timing, and UI/keyboard.
+"""
+
+from __future__ import annotations
+
+__all__ = ["API_GROUPS", "api_names", "group_of"]
+
+API_GROUPS: dict[str, tuple[str, ...]] = {
+    "process": (
+        "CreateProcessA",
+        "CreateThread",
+        "CreateRemoteThread",
+        "OpenProcess",
+        "TerminateProcess",
+        "ExitProcess",
+        "GetCurrentProcess",
+        "WinExec",
+    ),
+    "file": (
+        "CreateFileA",
+        "ReadFile",
+        "WriteFile",
+        "DeleteFileA",
+        "CopyFileA",
+        "CreatePipe",
+        "GetModuleFileNameA",
+        "FindFirstFileA",
+        "FindNextFileA",
+        "GetTempPathA",
+    ),
+    "registry": (
+        "RegOpenKeyExA",
+        "RegSetValueExA",
+        "RegQueryValueExA",
+        "RegCreateKeyExA",
+        "RegCloseKey",
+        "RegDeleteValueA",
+    ),
+    "network": (
+        "socket",
+        "connect",
+        "send",
+        "recv",
+        "bind",
+        "listen",
+        "accept",
+        "closesocket",
+        "WSAStartup",
+        "gethostbyname",
+        "InternetOpenA",
+        "InternetOpenUrlA",
+        "InternetReadFile",
+        "HttpSendRequestA",
+    ),
+    "memory": (
+        "VirtualAlloc",
+        "VirtualAllocEx",
+        "VirtualProtect",
+        "WriteProcessMemory",
+        "ReadProcessMemory",
+        "HeapAlloc",
+        "GlobalAlloc",
+        "LoadLibraryA",
+        "GetProcAddress",
+    ),
+    "timing": (
+        "Sleep",
+        "SleepEx",
+        "GetTickCount",
+        "QueryPerformanceCounter",
+        "GetSystemTimeAsFileTime",
+    ),
+    "ui": (
+        "GetAsyncKeyState",
+        "GetForegroundWindow",
+        "GetWindowTextA",
+        "SetWindowsHookExA",
+        "FindWindowA",
+        "MessageBoxA",
+        "wsprintfA",
+    ),
+    "service": (
+        "OpenSCManagerA",
+        "CreateServiceA",
+        "StartServiceA",
+        "OpenServiceA",
+    ),
+}
+
+_GROUP_OF: dict[str, str] = {
+    name: group for group, names in API_GROUPS.items() for name in names
+}
+
+
+def api_names(*groups: str) -> tuple[str, ...]:
+    """All API names in the given groups (all groups if none specified)."""
+    if not groups:
+        groups = tuple(API_GROUPS)
+    names: list[str] = []
+    for group in groups:
+        try:
+            names.extend(API_GROUPS[group])
+        except KeyError:
+            raise ValueError(f"unknown API group {group!r}") from None
+    return tuple(names)
+
+
+def group_of(api: str) -> str | None:
+    """The behaviour group an API belongs to, or ``None`` if unknown."""
+    return _GROUP_OF.get(api)

@@ -1,0 +1,40 @@
+"""From-scratch neural-network substrate on numpy.
+
+Everything the paper's models need — a reverse-mode autograd tensor,
+dense and graph-convolution layers, Adam/SGD optimizers, and the loss
+functions used by the GNN classifier and CFGExplainer — implemented
+without any deep-learning framework.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.init import glorot_uniform, he_normal, zeros_init
+from repro.nn.layers import Dense, GCNConv, Module, Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.losses import (
+    binary_cross_entropy,
+    cross_entropy,
+    nll_loss,
+    nll_loss_from_probs,
+)
+from repro.nn.serialize import load_module_into, save_module
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "glorot_uniform",
+    "he_normal",
+    "zeros_init",
+    "Dense",
+    "GCNConv",
+    "Module",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "nll_loss",
+    "nll_loss_from_probs",
+    "cross_entropy",
+    "binary_cross_entropy",
+    "save_module",
+    "load_module_into",
+]

@@ -1,0 +1,27 @@
+"""Weight initialization schemes used by the models in the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros_init"]
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, the GCN default."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization for ReLU-activated dense layers."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    del rng
+    return np.zeros((fan_in, fan_out))

@@ -1,0 +1,49 @@
+"""Loss functions.
+
+``nll_loss_from_probs`` is the paper's loss (Section IV-A): negative
+log-likelihood computed on *probabilities* (post-softmax), with the
+``+1e-20`` bias the authors use to avoid ``log(0)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "nll_loss",
+    "nll_loss_from_probs",
+    "cross_entropy",
+    "binary_cross_entropy",
+]
+
+#: Bias added inside the log, exactly as in the paper's implementation note.
+LOG_BIAS = 1e-20
+
+
+def nll_loss_from_probs(probs: Tensor, target: int, eps: float = LOG_BIAS) -> Tensor:
+    """``-log(Y[C] + eps)`` for one sample whose class probabilities are ``probs``.
+
+    ``probs`` may be shaped ``(C,)`` or ``(1, C)``.
+    """
+    flat = probs.reshape(-1)
+    return -(flat[target : target + 1].log(eps=eps).sum())
+
+def nll_loss(log_probs: Tensor, target: int) -> Tensor:
+    """Negative log-likelihood given *log*-probabilities."""
+    flat = log_probs.reshape(-1)
+    return -(flat[target : target + 1].sum())
+
+
+def cross_entropy(logits: Tensor, target: int) -> Tensor:
+    """Cross-entropy on raw logits (stable log-softmax formulation)."""
+    return nll_loss(logits.log_softmax(axis=-1), target)
+
+
+def binary_cross_entropy(probs: Tensor, targets: np.ndarray, eps: float = 1e-12) -> Tensor:
+    """Mean binary cross-entropy between probabilities and 0/1 targets."""
+    targets = np.asarray(targets, dtype=np.float64)
+    term_pos = Tensor(targets) * probs.log(eps=eps)
+    term_neg = Tensor(1.0 - targets) * (1.0 - probs).log(eps=eps)
+    return -(term_pos + term_neg).mean()

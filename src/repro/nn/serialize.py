@@ -1,0 +1,57 @@
+"""Checkpointing for :class:`Module` models.
+
+Saves the flat parameter list plus a user-supplied config dict to one
+``.npz`` file; loading validates shapes against a freshly constructed
+model, so architecture mismatches fail loudly instead of silently
+mis-assigning weights.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_module", "load_module_into"]
+
+
+def save_module(
+    module: Module, path: str | Path, config: dict | None = None
+) -> None:
+    """Write the module's parameters (and optional config) to ``path``."""
+    path = Path(path)
+    arrays = {f"param_{i}": p.data for i, p in enumerate(module.parameters())}
+    arrays["__config__"] = np.frombuffer(
+        json.dumps(config or {}).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_module_into(module: Module, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Returns the config dict stored alongside the weights.  Raises
+    ``ValueError`` when the parameter count or any shape differs.
+    """
+    path = Path(path)
+    if not path.suffix:
+        path = path.with_suffix(".npz")
+    data = np.load(path)
+    params = module.parameters()
+    stored = [key for key in data.files if key.startswith("param_")]
+    if len(stored) != len(params):
+        raise ValueError(
+            f"checkpoint has {len(stored)} parameters, model has {len(params)}"
+        )
+    for i, param in enumerate(params):
+        array = data[f"param_{i}"]
+        if array.shape != param.data.shape:
+            raise ValueError(
+                f"parameter {i}: checkpoint shape {array.shape} != model {param.data.shape}"
+            )
+        param.data[...] = array
+    config_bytes = data["__config__"].tobytes() if "__config__" in data.files else b"{}"
+    return json.loads(config_bytes.decode())

@@ -1,0 +1,43 @@
+"""Terminal renderings of explanations."""
+
+from __future__ import annotations
+
+from repro.disasm.cfg import CFG
+from repro.explain.explanation import Explanation
+
+__all__ = ["render_block_listing", "render_importance_bars"]
+
+
+def render_block_listing(
+    cfg: CFG, explanation: Explanation, top_k: int = 5, max_instructions: int = 6
+) -> str:
+    """The ``top_k`` most important blocks with their disassembly."""
+    lines = []
+    for rank, node in enumerate(explanation.node_order[:top_k], start=1):
+        block = cfg.blocks[int(node)]
+        score = ""
+        if explanation.node_scores is not None:
+            score = f"  (score {explanation.node_scores[int(node)]:.3f})"
+        header = ", ".join(block.labels) if block.labels else f"block {node}"
+        lines.append(f"#{rank} {header}{score}")
+        for instruction in block.instructions[:max_instructions]:
+            lines.append(f"    {instruction}")
+        if len(block.instructions) > max_instructions:
+            lines.append(f"    ... ({len(block.instructions)} instructions total)")
+    return "\n".join(lines)
+
+
+def render_importance_bars(
+    explanation: Explanation, width: int = 40, top_k: int = 15
+) -> str:
+    """Horizontal bar chart of node importance scores."""
+    if explanation.node_scores is None:
+        raise ValueError("explanation carries no scores")
+    scores = explanation.node_scores
+    peak = float(scores.max()) or 1.0
+    lines = []
+    for node in explanation.node_order[:top_k]:
+        value = float(scores[int(node)])
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"block {int(node):4d} |{bar:<{width}s}| {value:.3f}")
+    return "\n".join(lines)

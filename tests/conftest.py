@@ -1,0 +1,46 @@
+"""Shared fixtures: a small trained pipeline reused across test modules.
+
+Training even a scaled-down GNN takes a few seconds, so the expensive
+artifacts are session-scoped: one corpus, one trained GNN, one trained
+CFGExplainer model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
+from repro.core import CFGExplainerModel, train_cfgexplainer
+from repro.gnn import GCNClassifier, train_gnn
+from repro.malgen import generate_corpus
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    corpus = generate_corpus(6, seed=123)
+    dataset = ACFGDataset.from_corpus(corpus)
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=0)
+    scaler = FeatureScaler().fit(list(train))
+    return train.scaled(scaler), test.scaled(scaler)
+
+
+@pytest.fixture(scope="session")
+def trained_gnn(small_dataset):
+    train_set, _ = small_dataset
+    model = GCNClassifier(hidden=(32, 24, 16), rng=np.random.default_rng(0))
+    train_gnn(model, train_set, epochs=40, batch_size=16, lr=0.005, seed=0)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_theta(small_dataset, trained_gnn):
+    train_set, _ = small_dataset
+    theta = CFGExplainerModel(
+        trained_gnn.embedding_size,
+        train_set.num_classes,
+        rng=np.random.default_rng(1),
+    )
+    train_cfgexplainer(
+        theta, trained_gnn, train_set, num_epochs=150, minibatch_size=16,
+        lr=0.003, seed=0,
+    )
+    return theta

@@ -1,0 +1,225 @@
+"""Tests for the micro/macro qualitative analysis (Table V machinery)."""
+
+import pytest
+
+from repro.analysis import (
+    build_family_reports,
+    detect_code_manipulation,
+    detect_self_loop,
+    detect_semantic_nop_obfuscation,
+    detect_xor_obfuscation,
+    macro_analysis,
+    micro_analysis,
+)
+from repro.analysis.macro import api_group_profile, called_apis
+from repro.analysis.report import analyze_sample, format_table_v
+from repro.disasm import ProgramBuilder, build_cfg
+from repro.malgen import generate_corpus
+
+
+def cfg_of(emit):
+    builder = ProgramBuilder("probe")
+    emit(builder)
+    builder.emit("ret")
+    return build_cfg(builder.build())
+
+
+class TestCodeManipulation:
+    def test_call_pop_eax_detected(self):
+        cfg = cfg_of(lambda b: [b.emit("call", "ds:GetTickCount"), b.emit("pop", "eax")])
+        findings = detect_code_manipulation(cfg.blocks[0])
+        assert len(findings) == 1
+        assert findings[0].pattern == "code_manipulation"
+        assert "pop eax" in findings[0].evidence[1]
+
+    def test_call_mov_eax_detected(self):
+        cfg = cfg_of(
+            lambda b: [b.emit("call", "ds:Sleep"), b.emit("mov", "eax", "[ebp+var_EC]")]
+        )
+        assert detect_code_manipulation(cfg.blocks[0])
+
+    def test_call_movzx_detected(self):
+        cfg = cfg_of(
+            lambda b: [b.emit("call", "j_SleepEx"), b.emit("movzx", "eax", "[ecx]")]
+        )
+        assert detect_code_manipulation(cfg.blocks[0])
+
+    def test_unrelated_mov_not_flagged(self):
+        cfg = cfg_of(
+            lambda b: [b.emit("call", "ds:Sleep"), b.emit("mov", "ebx", "ecx")]
+        )
+        assert not detect_code_manipulation(cfg.blocks[0])
+
+    def test_no_call_no_finding(self):
+        cfg = cfg_of(lambda b: [b.emit("mov", "eax", "1"), b.emit("pop", "eax")])
+        assert not detect_code_manipulation(cfg.blocks[0])
+
+
+class TestXorObfuscation:
+    def test_xor_with_key_detected(self):
+        cfg = cfg_of(lambda b: b.emit("xor", "edx", "87BDC1D7h"))
+        findings = detect_xor_obfuscation(cfg.blocks[0])
+        assert len(findings) == 1
+
+    def test_xor_two_registers_detected(self):
+        cfg = cfg_of(lambda b: b.emit("xor", "eax", "ecx"))
+        assert detect_xor_obfuscation(cfg.blocks[0])
+
+    def test_xor_memory_detected(self):
+        cfg = cfg_of(lambda b: b.emit("xor", "[ecx]", "al"))
+        assert detect_xor_obfuscation(cfg.blocks[0])
+
+    def test_self_zeroing_xor_not_flagged(self):
+        cfg = cfg_of(lambda b: b.emit("xor", "eax", "eax"))
+        assert not detect_xor_obfuscation(cfg.blocks[0])
+
+
+class TestSemanticNop:
+    def test_sled_detected(self):
+        def emit(b):
+            for _ in range(4):
+                b.emit("nop")
+
+        cfg = cfg_of(emit)
+        findings = detect_semantic_nop_obfuscation(cfg.blocks[0])
+        assert len(findings) == 1
+        assert len(findings[0].evidence) == 4
+
+    def test_alias_sled_detected(self):
+        def emit(b):
+            b.emit("mov", "edx", "edx")
+            b.emit("mov", "esi", "esi")
+            b.emit("xchg", "dl", "dl")
+
+        cfg = cfg_of(emit)
+        assert detect_semantic_nop_obfuscation(cfg.blocks[0])
+
+    def test_short_run_ignored(self):
+        cfg = cfg_of(lambda b: [b.emit("nop"), b.emit("nop")])
+        assert not detect_semantic_nop_obfuscation(cfg.blocks[0])
+
+    def test_interrupted_run_ignored(self):
+        def emit(b):
+            b.emit("nop")
+            b.emit("nop")
+            b.emit("add", "eax", "1")
+            b.emit("nop")
+            b.emit("nop")
+
+        cfg = cfg_of(emit)
+        assert not detect_semantic_nop_obfuscation(cfg.blocks[0])
+
+
+class TestSelfLoop:
+    def test_self_loop_detected(self):
+        builder = ProgramBuilder("spin")
+        builder.label("top")
+        builder.emit("nop")
+        builder.emit("jmp", "top")
+        cfg = build_cfg(builder.build())
+        loop_block = cfg.blocks[0]
+        assert detect_self_loop(cfg, loop_block)
+
+    def test_forward_jump_not_flagged(self):
+        builder = ProgramBuilder("fwd")
+        builder.emit("jmp", "end")
+        builder.label("end")
+        builder.emit("ret")
+        cfg = build_cfg(builder.build())
+        assert not detect_self_loop(cfg, cfg.blocks[0])
+
+
+class TestMacroAnalysis:
+    def make_ldpinch_like(self):
+        def emit(b):
+            b.emit("push", "offset_sub_401000")
+            b.emit("call", "ds:CreateThread")
+            b.emit("call", "ds:ReadFile")
+            b.emit("call", "ds:send")
+            b.emit("call", "ds:recv")
+            b.emit("call", "ds:WriteFile")
+
+        return cfg_of(emit)
+
+    def test_called_apis_collected_in_order(self):
+        cfg = self.make_ldpinch_like()
+        apis = called_apis(cfg)
+        assert apis == ["CreateThread", "ReadFile", "send", "recv", "WriteFile"]
+
+    def test_thread_relay_hypothesis_fires(self):
+        cfg = self.make_ldpinch_like()
+        behaviors = {h.behavior for h in macro_analysis(cfg)}
+        assert "thread_relay" in behaviors
+
+    def test_injection_signature(self):
+        def emit(b):
+            b.emit("call", "ds:OpenProcess")
+            b.emit("call", "ds:WriteProcessMemory")
+            b.emit("call", "ds:CreateRemoteThread")
+
+        behaviors = {h.behavior for h in macro_analysis(cfg_of(emit))}
+        assert "process_injection" in behaviors
+
+    def test_benign_code_fires_nothing(self):
+        cfg = cfg_of(lambda b: [b.emit("add", "eax", "1"), b.emit("mov", "ebx", "2")])
+        assert macro_analysis(cfg) == []
+
+    def test_block_restriction(self):
+        cfg = self.make_ldpinch_like()
+        # Restricting to no blocks yields no APIs.
+        assert called_apis(cfg, []) == []
+
+    def test_api_group_profile(self):
+        cfg = self.make_ldpinch_like()
+        profile = api_group_profile(cfg)
+        assert profile["process"] == 1
+        assert profile["file"] == 2  # ReadFile, WriteFile
+        assert profile["network"] == 2  # send, recv
+
+
+class TestFamilyReports:
+    @pytest.fixture(scope="class")
+    def pairs(self, trained_gnn, trained_theta):
+        from repro.acfg import from_sample, FeatureScaler
+        from repro.core import CFGExplainer
+
+        corpus = generate_corpus(2, seed=77)
+        graphs = [from_sample(s) for s in corpus]
+        pad = max(g.n for g in graphs)
+        scaler = FeatureScaler().fit(graphs)
+        explainer = CFGExplainer(trained_gnn, trained_theta)
+        pairs = []
+        for sample, graph in zip(corpus[:8], graphs[:8]):
+            padded = scaler.transform(graph).padded(pad)
+            pairs.append((sample, explainer.explain(padded, step_size=20)))
+        return pairs
+
+    def test_reports_cover_families(self, pairs):
+        reports = build_family_reports(pairs)
+        assert set(reports) == {sample.family for sample, _ in pairs}
+        for report in reports.values():
+            assert report.samples_analyzed >= 1
+
+    def test_analyze_sample_returns_both_kinds(self, pairs):
+        sample, explanation = pairs[0]
+        findings, behaviors = analyze_sample(sample, explanation, fraction=1.0)
+        assert isinstance(findings, list)
+        assert isinstance(behaviors, list)
+
+    def test_format_table_v_renders(self, pairs):
+        reports = build_family_reports(pairs)
+        text = format_table_v(reports)
+        assert "Family" in text
+        for family in reports:
+            assert family in text
+
+    def test_full_graph_analysis_finds_planted_patterns(self):
+        """Analyzing ALL blocks of malware samples must surface the
+        generator's planted obfuscation patterns."""
+        corpus = generate_corpus(3, seed=5)
+        bagle = [s for s in corpus if s.family == "Bagle"]
+        patterns = set()
+        for sample in bagle:
+            for finding in micro_analysis(sample.cfg):
+                patterns.add(finding.pattern)
+        assert "code_manipulation" in patterns or "semantic_nop" in patterns

@@ -1,0 +1,160 @@
+"""Tests for the three baseline explainers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GNNExplainerBaseline,
+    PGExplainerBaseline,
+    SubgraphXBaseline,
+)
+from repro.baselines.gnnexplainer import edge_mass_node_scores
+from repro.baselines.subgraphx import shapley_score
+
+
+class TestGNNExplainer:
+    def test_mask_on_edge_support_only(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[0]
+        explainer = GNNExplainerBaseline(trained_gnn, epochs=10)
+        mask = explainer.optimize_mask(graph)
+        from repro.gnn import normalized_adjacency
+
+        active = np.zeros(graph.n, dtype=bool)
+        active[: graph.n_real] = True
+        support = normalized_adjacency(graph.adjacency, active) > 0
+        assert (mask[~support] == 0).all()
+        assert (mask >= 0).all() and (mask <= 1).all()
+
+    def test_explanation_is_valid(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[1]
+        explainer = GNNExplainerBaseline(trained_gnn, epochs=10)
+        explanation = explainer.explain(graph)
+        assert sorted(explanation.node_order.tolist()) == list(range(graph.n_real))
+        assert explanation.explainer_name == "GNNExplainer"
+
+    def test_size_regularizer_shrinks_mask(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[2]
+        light = GNNExplainerBaseline(trained_gnn, epochs=25, size_weight=0.0)
+        heavy = GNNExplainerBaseline(trained_gnn, epochs=25, size_weight=0.5)
+        assert heavy.optimize_mask(graph).sum() < light.optimize_mask(graph).sum()
+
+    def test_invalid_epochs_raise(self, trained_gnn):
+        with pytest.raises(ValueError):
+            GNNExplainerBaseline(trained_gnn, epochs=0)
+
+    def test_edge_mass_scores(self):
+        weights = np.zeros((4, 4))
+        weights[0, 1] = 0.9
+        weights[2, 1] = 0.4
+        scores = edge_mass_node_scores(weights, n_real=3)
+        np.testing.assert_allclose(scores, [0.9, 1.3, 0.4])
+
+
+class TestPGExplainer:
+    @pytest.fixture(scope="class")
+    def fitted(self, trained_gnn, small_dataset):
+        train_set, _ = small_dataset
+        explainer = PGExplainerBaseline(trained_gnn, epochs=4, seed=3)
+        history = explainer.fit(train_set)
+        return explainer, history
+
+    def test_training_loss_finite_and_recorded(self, fitted):
+        _, history = fitted
+        assert len(history.losses) == 4
+        assert np.isfinite(history.final_loss)
+
+    def test_unfitted_explainer_raises(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        explainer = PGExplainerBaseline(trained_gnn)
+        with pytest.raises(RuntimeError, match="fit"):
+            explainer.explain(test_set.graphs[0])
+
+    def test_explanation_is_valid(self, fitted, small_dataset):
+        explainer, _ = fitted
+        _, test_set = small_dataset
+        graph = test_set.graphs[0]
+        explanation = explainer.explain(graph)
+        assert sorted(explanation.node_order.tolist()) == list(range(graph.n_real))
+
+    def test_global_model_shared_across_graphs(self, fitted, small_dataset):
+        """Unlike GNNExplainer, explaining must not mutate the predictor."""
+        explainer, _ = fitted
+        _, test_set = small_dataset
+        before = [p.data.copy() for p in explainer.predictor.parameters()]
+        explainer.explain(test_set.graphs[0])
+        explainer.explain(test_set.graphs[1])
+        after = [p.data for p in explainer.predictor.parameters()]
+        for b, a in zip(before, after):
+            np.testing.assert_array_equal(b, a)
+
+    def test_deterministic_explanations(self, fitted, small_dataset):
+        explainer, _ = fitted
+        _, test_set = small_dataset
+        graph = test_set.graphs[2]
+        order1, _ = explainer.rank_nodes(graph)
+        order2, _ = explainer.rank_nodes(graph)
+        np.testing.assert_array_equal(order1, order2)
+
+
+class TestSubgraphX:
+    def test_shapley_of_everything_is_high_for_target(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[0]
+        target = trained_gnn.predict(graph)
+        rng = np.random.default_rng(0)
+        full = frozenset(range(graph.n_real))
+        score = shapley_score(trained_gnn, graph, full, target, rng, samples=4)
+        # The whole graph's marginal over the empty coalition must be
+        # positive: it contains all the evidence for the prediction.
+        assert score > 0
+
+    def test_explanation_is_valid(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[1]
+        explainer = SubgraphXBaseline(
+            trained_gnn, mcts_iterations=10, shapley_samples=3, seed=1
+        )
+        explanation = explainer.explain(graph)
+        assert sorted(explanation.node_order.tolist()) == list(range(graph.n_real))
+        assert explanation.explainer_name == "SubgraphX"
+
+    def test_invalid_params_raise(self, trained_gnn):
+        with pytest.raises(ValueError):
+            SubgraphXBaseline(trained_gnn, mcts_iterations=0)
+
+    def test_deterministic_per_seed(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[2]
+        first = SubgraphXBaseline(trained_gnn, mcts_iterations=8, shapley_samples=2, seed=9)
+        second = SubgraphXBaseline(trained_gnn, mcts_iterations=8, shapley_samples=2, seed=9)
+        np.testing.assert_array_equal(
+            first.rank_nodes(graph)[0], second.rank_nodes(graph)[0]
+        )
+
+    def test_mcts_explores_tree(self, trained_gnn, small_dataset):
+        """More iterations must visit more distinct subgraph states."""
+        _, test_set = small_dataset
+        graph = test_set.graphs[3]
+        explainer = SubgraphXBaseline(
+            trained_gnn, mcts_iterations=12, shapley_samples=2, seed=0
+        )
+        # Instrument via the reward cache: each cached key is a distinct
+        # evaluated subgraph.
+        import repro.baselines.subgraphx as sx
+
+        original = sx.shapley_score
+        seen = set()
+
+        def spy(model, g, kept, target, rng, samples):
+            seen.add(kept)
+            return original(model, g, kept, target, rng, samples)
+
+        sx.shapley_score = spy
+        try:
+            explainer.rank_nodes(graph)
+        finally:
+            sx.shapley_score = original
+        assert len(seen) > 3

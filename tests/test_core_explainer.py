@@ -1,0 +1,193 @@
+"""Tests for CFGExplainer: the Θ model, Algorithm 1, and Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CFGExplainer,
+    CFGExplainerModel,
+    interpret,
+    train_cfgexplainer,
+)
+from repro.core.model import NodeScorer, SurrogateClassifier
+from repro.nn import Tensor
+
+
+class TestThetaModel:
+    def test_scorer_outputs_in_unit_interval(self):
+        scorer = NodeScorer(16, rng=np.random.default_rng(0))
+        z = Tensor(np.random.default_rng(1).normal(size=(20, 16)))
+        psi = scorer(z)
+        assert psi.shape == (20, 1)
+        assert (psi.numpy() >= 0).all() and (psi.numpy() <= 1).all()
+
+    def test_surrogate_probabilities_sum_to_one(self):
+        surrogate = SurrogateClassifier(16, 12, rng=np.random.default_rng(0))
+        z = Tensor(np.abs(np.random.default_rng(1).normal(size=(20, 16))))
+        probs = surrogate(z, np.ones(20, dtype=bool))
+        assert probs.shape == (12,)
+        np.testing.assert_allclose(probs.numpy().sum(), 1.0, atol=1e-9)
+
+    def test_surrogate_ignores_masked_nodes(self):
+        surrogate = SurrogateClassifier(8, 5, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        z_real = np.abs(rng.normal(size=(4, 8)))
+        z_padded = np.vstack([z_real, rng.normal(size=(3, 8))])
+        mask_full = np.ones(4, dtype=bool)
+        mask_padded = np.array([True] * 4 + [False] * 3)
+        probs_real = surrogate(Tensor(z_real), mask_full).numpy()
+        probs_padded = surrogate(Tensor(z_padded), mask_padded).numpy()
+        np.testing.assert_allclose(probs_real, probs_padded, atol=1e-12)
+
+    def test_forward_weighted_connection(self):
+        """Zero scores must zero the surrogate's node contributions."""
+        model = CFGExplainerModel(8, 5, rng=np.random.default_rng(0))
+        z = np.abs(np.random.default_rng(1).normal(size=(6, 8)))
+        mask = np.ones(6, dtype=bool)
+        psi, probs = model.forward(Tensor(z), mask)
+        assert psi.shape == (6, 1)
+        # Force all scores to zero by feeding zero embeddings: weighted
+        # embeddings are zero regardless of psi, so Y is score-independent.
+        _, probs_zero = model.forward(Tensor(np.zeros((6, 8))), mask)
+        np.testing.assert_allclose(probs_zero.numpy().sum(), 1.0, atol=1e-9)
+
+    def test_gradients_flow_to_both_components(self):
+        model = CFGExplainerModel(8, 5, rng=np.random.default_rng(0))
+        z = Tensor(np.abs(np.random.default_rng(1).normal(size=(6, 8))))
+        _, probs = model.forward(z, np.ones(6, dtype=bool))
+        loss = -(probs[0:1].log(eps=1e-20).sum())
+        loss.backward()
+        scorer_grads = [p.grad for p in model.scorer.parameters()]
+        surrogate_grads = [p.grad for p in model.surrogate.parameters()]
+        assert all(g is not None for g in scorer_grads)
+        assert all(g is not None for g in surrogate_grads)
+        assert any(np.abs(g).sum() > 0 for g in scorer_grads)
+
+    def test_node_scores_real_only(self):
+        model = CFGExplainerModel(8, 5, rng=np.random.default_rng(0))
+        z = Tensor(np.random.default_rng(2).normal(size=(10, 8)))
+        scores = model.node_scores(z, n_real=6)
+        assert scores.shape == (6,)
+
+
+class TestAlgorithm1:
+    def test_loss_decreases(self, trained_gnn, small_dataset):
+        train_set, _ = small_dataset
+        theta = CFGExplainerModel(
+            trained_gnn.embedding_size, 12, rng=np.random.default_rng(5)
+        )
+        history = train_cfgexplainer(
+            theta, trained_gnn, train_set, num_epochs=40, minibatch_size=16, seed=0
+        )
+        early = np.mean(history.losses[:5])
+        late = np.mean(history.losses[-5:])
+        assert late < early
+
+    def test_surrogate_agreement_reported(self, trained_theta):
+        # conftest trains theta for 80 epochs; agreement must beat chance.
+        pass  # existence checked via fixture; agreement checked below
+
+    def test_surrogate_agrees_with_gnn(self, trained_gnn, small_dataset, trained_theta):
+        from repro.core.training import precompute_embeddings, _surrogate_agreement
+
+        train_set, _ = small_dataset
+        cached = precompute_embeddings(trained_gnn, train_set)
+        agreement = _surrogate_agreement(trained_theta, cached)
+        assert agreement > 0.5
+
+    def test_embedding_size_mismatch_raises(self, trained_gnn, small_dataset):
+        train_set, _ = small_dataset
+        theta = CFGExplainerModel(trained_gnn.embedding_size + 1, 12)
+        with pytest.raises(ValueError, match="embedding"):
+            train_cfgexplainer(theta, trained_gnn, train_set, num_epochs=1)
+
+    def test_invalid_epochs_raise(self, trained_gnn, small_dataset):
+        train_set, _ = small_dataset
+        theta = CFGExplainerModel(trained_gnn.embedding_size, 12)
+        with pytest.raises(ValueError):
+            train_cfgexplainer(theta, trained_gnn, train_set, num_epochs=0)
+
+
+class TestAlgorithm2:
+    @pytest.fixture()
+    def explained(self, trained_gnn, trained_theta, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[0]
+        return graph, interpret(trained_theta, trained_gnn, graph, step_size=10)
+
+    def test_node_order_is_permutation(self, explained):
+        graph, explanation = explained
+        assert sorted(explanation.node_order.tolist()) == list(range(graph.n_real))
+
+    def test_ladder_has_all_levels(self, explained):
+        _, explanation = explained
+        assert explanation.fractions == [i / 10 for i in range(1, 11)]
+
+    def test_ladder_nested_and_sized(self, explained):
+        graph, explanation = explained
+        previous = set()
+        for level in explanation.levels:
+            kept = set(level.kept_nodes.tolist())
+            assert previous <= kept
+            expected = max(1, int(round(level.fraction * graph.n_real)))
+            assert len(kept) == expected
+            previous = kept
+
+    def test_snapshot_matches_kept_nodes(self, explained):
+        """Each rung's adjacency must have edges only among kept nodes."""
+        _, explanation = explained
+        for level in explanation.levels:
+            adjacency = level.adjacency
+            rows_with_edges = set(np.nonzero(adjacency.sum(axis=1))[0].tolist())
+            cols_with_edges = set(np.nonzero(adjacency.sum(axis=0))[0].tolist())
+            kept = set(level.kept_nodes.tolist())
+            assert rows_with_edges <= kept
+            assert cols_with_edges <= kept
+
+    def test_full_graph_rung_is_original(self, explained):
+        graph, explanation = explained
+        np.testing.assert_array_equal(
+            explanation.levels[-1].adjacency, graph.adjacency
+        )
+
+    def test_scores_recorded_for_real_nodes(self, explained):
+        graph, explanation = explained
+        assert explanation.node_scores is not None
+        assert explanation.node_scores.shape == (graph.n_real,)
+        assert (explanation.node_scores >= 0).all()
+        assert (explanation.node_scores <= 1).all()
+
+    def test_step_size_25(self, trained_gnn, trained_theta, small_dataset):
+        _, test_set = small_dataset
+        explanation = interpret(
+            trained_theta, trained_gnn, test_set.graphs[1], step_size=25
+        )
+        assert explanation.fractions == [0.25, 0.5, 0.75, 1.0]
+
+    def test_explainer_class_wraps_interpret(self, trained_gnn, trained_theta, small_dataset):
+        _, test_set = small_dataset
+        explainer = CFGExplainer(trained_gnn, trained_theta)
+        explanation = explainer.explain(test_set.graphs[2], step_size=20)
+        assert explanation.explainer_name == "CFGExplainer"
+        assert len(explanation.levels) == 5
+
+    def test_deterministic(self, trained_gnn, trained_theta, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[3]
+        first = interpret(trained_theta, trained_gnn, graph)
+        second = interpret(trained_theta, trained_gnn, graph)
+        np.testing.assert_array_equal(first.node_order, second.node_order)
+
+    def test_tiny_graph_single_node(self, trained_gnn, trained_theta):
+        from repro.acfg import ACFG
+
+        graph = ACFG(
+            np.zeros((4, 4)),
+            np.ones((4, 12)) * 0.5,
+            label=0,
+            family="Bagle",
+            n_real=1,
+        )
+        explanation = interpret(trained_theta, trained_gnn, graph, step_size=50)
+        assert explanation.node_order.tolist() == [0]
+        assert all(level.kept_nodes.tolist() == [0] for level in explanation.levels)

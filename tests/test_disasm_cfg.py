@@ -1,0 +1,174 @@
+"""Unit tests for program building and CFG recovery."""
+
+import numpy as np
+import pytest
+
+from repro.disasm import EdgeKind, Program, ProgramBuilder, build_cfg
+from repro.disasm.instruction import Instruction
+
+
+def straight_line_program():
+    b = ProgramBuilder("straight")
+    b.emit("mov", "eax", "1")
+    b.emit("add", "eax", "2")
+    b.emit("ret")
+    return b.build()
+
+
+def branch_program():
+    """if (eax == 0) { eax++ } ; return — the classic diamond-less branch."""
+    b = ProgramBuilder("branch")
+    b.emit("cmp", "eax", "0")
+    b.emit("je", "done")
+    b.emit("inc", "eax")
+    b.label("done")
+    b.emit("ret")
+    return b.build()
+
+
+def loop_program():
+    b = ProgramBuilder("loop")
+    b.emit("mov", "ecx", "10")
+    b.label("top")
+    b.emit("dec", "ecx")
+    b.emit("cmp", "ecx", "0")
+    b.emit("jne", "top")
+    b.emit("ret")
+    return b.build()
+
+
+def call_program():
+    b = ProgramBuilder("calls")
+    b.emit("call", "helper")
+    b.emit("mov", "ebx", "eax")
+    b.emit("ret")
+    b.label("helper")
+    b.emit("mov", "eax", "7")
+    b.emit("ret")
+    return b.build()
+
+
+class TestProgramBuilder:
+    def test_builds_program_with_labels(self):
+        program = branch_program()
+        assert len(program) == 4
+        assert program.labels["done"] == 3
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="defined twice"):
+            b.label("x")
+
+    def test_unresolved_target_raises(self):
+        b = ProgramBuilder()
+        b.emit("jmp", "nowhere")
+        with pytest.raises(ValueError, match="never defined"):
+            b.build()
+
+    def test_trailing_label_gets_terminator(self):
+        b = ProgramBuilder()
+        b.emit("jmp", "end")
+        b.label("end")
+        program = b.build()
+        assert program.instructions[-1].is_return
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder()
+        names = {b.fresh_label() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="outside the program"):
+            Program([Instruction("ret")], {"bad": 5})
+
+    def test_to_text_includes_labels(self):
+        text = branch_program().to_text()
+        assert "done:" in text
+        assert "je done" in text
+
+
+class TestCfgConstruction:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(straight_line_program())
+        assert cfg.node_count == 1
+        assert cfg.edge_count == 0
+        assert len(cfg.blocks[0]) == 3
+
+    def test_branch_blocks_and_edges(self):
+        cfg = build_cfg(branch_program())
+        # blocks: [cmp,je] [inc] [ret]
+        assert cfg.node_count == 3
+        kinds = {(s, t): k for s, t, k in cfg.edges}
+        assert kinds[(0, 2)] is EdgeKind.JUMP
+        assert kinds[(0, 1)] is EdgeKind.FALLTHROUGH
+        assert kinds[(1, 2)] is EdgeKind.FALLTHROUGH
+
+    def test_loop_has_back_edge(self):
+        cfg = build_cfg(loop_program())
+        # blocks: [mov] [dec,cmp,jne] [ret]
+        assert cfg.node_count == 3
+        assert (1, 1, EdgeKind.JUMP) in cfg.edges
+
+    def test_call_edge_has_weight_two(self):
+        cfg = build_cfg(call_program())
+        matrix = cfg.adjacency_matrix()
+        # block 0 = [call helper]; helper entry is block 3 ([mov eax,7; ...]).
+        call_edges = [(s, t) for s, t, k in cfg.edges if k is EdgeKind.CALL]
+        assert len(call_edges) == 1
+        source, target = call_edges[0]
+        assert matrix[source, target] == 2
+
+    def test_call_also_falls_through(self):
+        cfg = build_cfg(call_program())
+        fall = [(s, t) for s, t, k in cfg.edges if k is EdgeKind.FALLTHROUGH]
+        assert (0, 1) in fall
+
+    def test_api_call_does_not_split_block(self):
+        b = ProgramBuilder()
+        b.emit("call", "ds:Sleep")
+        b.emit("mov", "eax", "[ebp+8]")
+        b.emit("ret")
+        cfg = build_cfg(b.build())
+        assert cfg.node_count == 1
+
+    def test_return_has_no_successors(self):
+        cfg = build_cfg(branch_program())
+        last = cfg.node_count - 1
+        assert cfg.successors(last) == []
+
+    def test_adjacency_values_in_paper_domain(self):
+        for program in (branch_program(), loop_program(), call_program()):
+            matrix = build_cfg(program).adjacency_matrix()
+            assert set(np.unique(matrix)) <= {0, 1, 2}
+
+    def test_empty_program(self):
+        cfg = build_cfg(Program([], {}))
+        assert cfg.node_count == 0
+        assert cfg.adjacency_matrix().shape == (0, 0)
+
+    def test_unconditional_jump_has_no_fallthrough(self):
+        b = ProgramBuilder()
+        b.emit("jmp", "end")
+        b.emit("mov", "eax", "1")  # dead code
+        b.label("end")
+        b.emit("ret")
+        cfg = build_cfg(b.build())
+        kinds = {(s, t): k for s, t, k in cfg.edges}
+        assert all(k is not EdgeKind.FALLTHROUGH or s != 0 for (s, t), k in kinds.items())
+
+    def test_to_networkx_preserves_structure(self):
+        cfg = build_cfg(loop_program())
+        graph = cfg.to_networkx()
+        assert graph.number_of_nodes() == cfg.node_count
+        assert graph.number_of_edges() == len({(s, t) for s, t, _ in cfg.edges})
+        assert graph.has_edge(1, 1)
+
+    def test_predecessors(self):
+        cfg = build_cfg(branch_program())
+        assert sorted(cfg.predecessors(2)) == [0, 1]
+
+    def test_block_labels_attached(self):
+        cfg = build_cfg(branch_program())
+        labelled = [b for b in cfg.blocks if "done" in b.labels]
+        assert len(labelled) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for the instruction model and ISA categorization."""
+
+import pytest
+
+from repro.disasm import Instruction, InstructionCategory, category_of, is_register
+
+
+class TestCategories:
+    @pytest.mark.parametrize(
+        "mnemonic,category",
+        [
+            ("jmp", InstructionCategory.TRANSFER),
+            ("je", InstructionCategory.TRANSFER),
+            ("loop", InstructionCategory.TRANSFER),
+            ("call", InstructionCategory.CALL),
+            ("add", InstructionCategory.ARITHMETIC),
+            ("xor", InstructionCategory.ARITHMETIC),
+            ("shl", InstructionCategory.ARITHMETIC),
+            ("cmp", InstructionCategory.COMPARE),
+            ("test", InstructionCategory.COMPARE),
+            ("mov", InstructionCategory.MOV),
+            ("push", InstructionCategory.MOV),
+            ("lea", InstructionCategory.MOV),
+            ("ret", InstructionCategory.TERMINATION),
+            ("hlt", InstructionCategory.TERMINATION),
+            ("dd", InstructionCategory.DATA_DECLARATION),
+            ("nop", InstructionCategory.OTHER),
+        ],
+    )
+    def test_known_mnemonics(self, mnemonic, category):
+        assert category_of(mnemonic) is category
+
+    def test_case_insensitive(self):
+        assert category_of("MOV") is InstructionCategory.MOV
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(ValueError, match="unknown mnemonic"):
+            category_of("frobnicate")
+
+    def test_instruction_rejects_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_is_register(self):
+        assert is_register("eax")
+        assert is_register("AL")
+        assert not is_register("loc_401000")
+        assert not is_register("42")
+
+
+class TestControlFlowProperties:
+    def test_unconditional_jump(self):
+        instr = Instruction("jmp", ("loc_1",))
+        assert instr.is_jump
+        assert instr.is_unconditional_jump
+        assert not instr.is_conditional_jump
+        assert instr.ends_block
+        assert instr.target == "loc_1"
+
+    def test_conditional_jump(self):
+        instr = Instruction("jne", ("loop_top",))
+        assert instr.is_conditional_jump
+        assert instr.target == "loop_top"
+
+    def test_return_ends_block(self):
+        assert Instruction("ret").ends_block
+        assert Instruction("ret").is_return
+
+    def test_call_with_local_target(self):
+        instr = Instruction("call", ("sub_401000",))
+        assert instr.is_call
+        assert instr.target == "sub_401000"
+        assert instr.api_symbol is None
+
+    def test_call_through_api_symbol_has_no_local_target(self):
+        instr = Instruction("call", ("ds:CreateThread",))
+        assert instr.target is None
+        assert instr.api_symbol == "CreateThread"
+
+    def test_call_through_thunk(self):
+        assert Instruction("call", ("j_SleepEx",)).api_symbol == "SleepEx"
+
+    def test_call_through_register_has_no_target(self):
+        assert Instruction("call", ("eax",)).target is None
+
+    def test_mov_is_not_control_flow(self):
+        instr = Instruction("mov", ("eax", "ebx"))
+        assert not instr.ends_block
+        assert instr.target is None
+
+
+class TestOperandCounts:
+    def test_numeric_constants_decimal(self):
+        assert Instruction("mov", ("eax", "42")).numeric_constant_count == 1
+
+    def test_numeric_constants_masm_hex(self):
+        assert Instruction("xor", ("edx", "87BDC1D7h")).numeric_constant_count == 1
+
+    def test_numeric_constants_0x_hex(self):
+        assert Instruction("cmp", ("eax", "0x10")).numeric_constant_count == 1
+
+    def test_negative_constant(self):
+        assert Instruction("add", ("eax", "-8")).numeric_constant_count == 1
+
+    def test_register_is_not_numeric(self):
+        assert Instruction("mov", ("eax", "ebx")).numeric_constant_count == 0
+
+    def test_string_constants(self):
+        instr = Instruction("push", ("'cmd.exe'",))
+        assert instr.string_constant_count == 1
+        assert instr.numeric_constant_count == 0
+
+    def test_memory_operand_counts_as_neither(self):
+        instr = Instruction("mov", ("eax", "[ebp+8]"))
+        assert instr.numeric_constant_count == 0
+        assert instr.string_constant_count == 0
+
+
+class TestDataflowProperties:
+    def test_registers_read_from_memory_operand(self):
+        instr = Instruction("mov", ("eax", "[ebp+var_8]"))
+        assert "ebp" in instr.registers_read
+        assert "eax" in instr.registers_read
+
+    def test_writes_first_operand_register(self):
+        assert Instruction("mov", ("eax", "1")).writes_first_operand_register
+        assert not Instruction("mov", ("[esp]", "eax")).writes_first_operand_register
+
+    def test_nop_is_semantic_nop(self):
+        assert Instruction("nop").is_semantic_nop
+
+    def test_mov_same_register_is_semantic_nop(self):
+        assert Instruction("mov", ("edx", "edx")).is_semantic_nop
+        assert Instruction("xchg", ("al", "al")).is_semantic_nop
+
+    def test_real_mov_is_not_semantic_nop(self):
+        assert not Instruction("mov", ("edx", "eax")).is_semantic_nop
+
+    def test_str_roundtrip_format(self):
+        assert str(Instruction("mov", ("eax", "1"))) == "mov eax, 1"
+        assert str(Instruction("nop")) == "nop"

@@ -1,0 +1,63 @@
+"""Tests for the score-averaging CFGExplainer ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core import CFGExplainerEnsemble, CFGExplainerModel, interpret
+from repro.nn import Tensor
+
+
+def members(k=3, f=8):
+    return [
+        CFGExplainerModel(f, 12, rng=np.random.default_rng(seed))
+        for seed in range(k)
+    ]
+
+
+class TestEnsemble:
+    def test_scores_are_member_mean(self):
+        ensemble = CFGExplainerEnsemble(members(3))
+        z = Tensor(np.abs(np.random.default_rng(0).normal(size=(6, 8))))
+        expected = np.mean(
+            [m.node_scores(z, 5) for m in ensemble.members], axis=0
+        )
+        np.testing.assert_allclose(ensemble.node_scores(z, 5), expected)
+
+    def test_single_member_matches_model(self):
+        model = members(1)[0]
+        ensemble = CFGExplainerEnsemble([model])
+        z = Tensor(np.abs(np.random.default_rng(1).normal(size=(4, 8))))
+        np.testing.assert_allclose(
+            ensemble.node_scores(z, 4), model.node_scores(z, 4)
+        )
+
+    def test_empty_ensemble_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CFGExplainerEnsemble([])
+
+    def test_mixed_embedding_sizes_raise(self):
+        bad = [
+            CFGExplainerModel(8, 12, rng=np.random.default_rng(0)),
+            CFGExplainerModel(16, 12, rng=np.random.default_rng(1)),
+        ]
+        with pytest.raises(ValueError, match="embedding size"):
+            CFGExplainerEnsemble(bad)
+
+    def test_parameters_concatenate_members(self):
+        ensemble = CFGExplainerEnsemble(members(2))
+        per_member = len(ensemble.members[0].parameters())
+        assert len(ensemble.parameters()) == 2 * per_member
+
+    def test_interpret_accepts_ensemble(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        ensemble = CFGExplainerEnsemble(
+            [
+                CFGExplainerModel(
+                    trained_gnn.embedding_size, 12, rng=np.random.default_rng(s)
+                )
+                for s in (0, 1)
+            ]
+        )
+        graph = test_set.graphs[0]
+        explanation = interpret(ensemble, trained_gnn, graph, step_size=50)
+        assert sorted(explanation.node_order.tolist()) == list(range(graph.n_real))

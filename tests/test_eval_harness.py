@@ -1,0 +1,139 @@
+"""Integration tests for the evaluation harness (tiny configuration)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ExperimentConfig,
+    PAPER_SCALE_CONFIG,
+    build_table3,
+    format_figure2,
+    format_table3,
+    format_table4,
+    measure_timings,
+    run_pipeline,
+    sweep_all_families,
+)
+from repro.malgen import FAMILIES
+
+
+TINY = ExperimentConfig(
+    samples_per_family=3,
+    gnn_hidden=(16, 8),
+    gnn_epochs=10,
+    explainer_epochs=15,
+    gnnexplainer_epochs=5,
+    pgexplainer_epochs=2,
+    subgraphx_iterations=5,
+    subgraphx_shapley_samples=2,
+)
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return run_pipeline(TINY)
+
+
+class TestPipeline:
+    def test_artifacts_complete(self, artifacts):
+        assert len(artifacts.corpus) == 3 * len(FAMILIES)
+        assert len(artifacts.train_set) + len(artifacts.test_set) == len(
+            artifacts.corpus
+        )
+        assert set(artifacts.explainers) == {
+            "CFGExplainer",
+            "GNNExplainer",
+            "SubgraphX",
+            "PGExplainer",
+        }
+        assert 0.0 <= artifacts.gnn_test_accuracy <= 1.0
+
+    def test_offline_times_recorded(self, artifacts):
+        offline = artifacts.offline_training_seconds
+        assert offline["CFGExplainer"] > 0
+        assert offline["PGExplainer"] > 0
+        assert offline["GNNExplainer"] == 0.0
+        assert offline["SubgraphX"] == 0.0
+
+    def test_sample_lookup(self, artifacts):
+        graph = artifacts.test_set.graphs[0]
+        sample = artifacts.sample_for(graph.name)
+        assert sample.family == graph.family
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(samples_per_family=1)
+
+    def test_paper_scale_config_documents_paper_values(self):
+        assert PAPER_SCALE_CONFIG.gnn_hidden == (1024, 512, 128)
+        assert PAPER_SCALE_CONFIG.samples_per_family * 12 == 1056
+
+
+class TestSweepAndTables:
+    @pytest.fixture(scope="class")
+    def sweeps(self, artifacts):
+        # Two explainers keep this fast; the benches run all four.
+        subset = {
+            name: artifacts.explainers[name]
+            for name in ("CFGExplainer", "PGExplainer")
+        }
+        return sweep_all_families(
+            artifacts.gnn, subset, artifacts.test_set, step_size=20
+        )
+
+    def test_sweeps_cover_all_families(self, sweeps, artifacts):
+        families_in_test = {g.family for g in artifacts.test_set}
+        assert set(sweeps) == families_in_test
+
+    def test_curves_end_at_one(self, sweeps):
+        for by_explainer in sweeps.values():
+            for sweep in by_explainer.values():
+                assert sweep.accuracies[-1] == 1.0  # 100% graph = original prediction
+
+    def test_auc_in_unit_interval(self, sweeps):
+        for by_explainer in sweeps.values():
+            for sweep in by_explainer.values():
+                assert 0.0 <= sweep.auc <= 1.0
+
+    def test_table3_has_average_row(self, sweeps):
+        rows = build_table3(sweeps)
+        assert rows[-1].family == "Average"
+        text = format_table3(rows)
+        assert "CFGExplainer" in text
+        assert "Average" in text
+
+    def test_table3_average_is_mean(self, sweeps):
+        rows = build_table3(sweeps)
+        body = [r for r in rows if r.family != "Average"]
+        average = rows[-1]
+        for name, cell in average.cells.items():
+            manual = np.mean([r.cells[name] for r in body if name in r.cells], axis=0)
+            np.testing.assert_allclose(cell, manual)
+
+    def test_figure2_renders_all_series(self, sweeps):
+        text = format_figure2(sweeps)
+        for family in sweeps:
+            assert family in text
+        assert "AUC" in text
+
+
+class TestTiming:
+    def test_timings_measured(self, artifacts):
+        graphs = artifacts.test_set.graphs[:2]
+        subset = {
+            name: artifacts.explainers[name]
+            for name in ("CFGExplainer", "GNNExplainer")
+        }
+        timings = measure_timings(
+            subset, graphs, artifacts.offline_training_seconds
+        )
+        assert {t.explainer_name for t in timings} == set(subset)
+        for timing in timings:
+            assert timing.mean_seconds > 0
+            assert timing.samples == 2
+        text = format_table4(timings)
+        assert "Offline training" in text
+
+    def test_empty_graphs_raise(self, artifacts):
+        with pytest.raises(ValueError):
+            measure_timings(artifacts.explainers, [])

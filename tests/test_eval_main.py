@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro.eval`` entry point's argument handling."""
+
+import sys
+
+import pytest
+
+from repro.eval.__main__ import parse_args
+
+
+class TestParseArgs:
+    def run(self, argv):
+        old = sys.argv
+        sys.argv = ["repro.eval"] + argv
+        try:
+            return parse_args()
+        finally:
+            sys.argv = old
+
+    def test_defaults(self):
+        args = self.run([])
+        assert not args.quick
+        assert args.samples is None
+        assert args.seed == 0
+
+    def test_quick_flag(self):
+        assert self.run(["--quick"]).quick
+
+    def test_samples_and_seed(self):
+        args = self.run(["--samples", "4", "--seed", "7"])
+        assert args.samples == 4
+        assert args.seed == 7
+
+    def test_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            self.run(["--bogus"])

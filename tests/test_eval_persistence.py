@@ -1,0 +1,75 @@
+"""Tests for pipeline model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ExperimentConfig, run_pipeline
+from repro.eval.persistence import load_models_into, save_models
+
+TINY = ExperimentConfig(
+    samples_per_family=2,
+    gnn_hidden=(8, 4),
+    gnn_epochs=3,
+    explainer_epochs=5,
+    gnnexplainer_epochs=2,
+    pgexplainer_epochs=1,
+    subgraphx_iterations=2,
+    subgraphx_shapley_samples=1,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_artifacts():
+    return run_pipeline(TINY)
+
+
+class TestPersistence:
+    def test_roundtrip_restores_predictions(self, tiny_artifacts, tmp_path):
+        save_models(tiny_artifacts, tmp_path / "models")
+
+        fresh = run_pipeline(TINY)
+        # Perturb fresh weights so restoration is observable.
+        for param in fresh.gnn.parameters():
+            param.data += 1.0
+        load_models_into(fresh, tmp_path / "models")
+
+        graph = tiny_artifacts.test_set.graphs[0]
+        np.testing.assert_allclose(
+            fresh.gnn.predict_proba(graph),
+            tiny_artifacts.gnn.predict_proba(graph),
+            atol=1e-12,
+        )
+
+    def test_restores_scaler_and_offline_times(self, tiny_artifacts, tmp_path):
+        save_models(tiny_artifacts, tmp_path / "m")
+        fresh = run_pipeline(TINY)
+        fresh.scaler.scale = np.zeros_like(fresh.scaler.scale)
+        load_models_into(fresh, tmp_path / "m")
+        np.testing.assert_array_equal(
+            fresh.scaler.scale, tiny_artifacts.scaler.scale
+        )
+        assert fresh.offline_training_seconds["CFGExplainer"] > 0
+
+    def test_config_mismatch_raises(self, tiny_artifacts, tmp_path):
+        save_models(tiny_artifacts, tmp_path / "m")
+        other = run_pipeline(
+            ExperimentConfig(
+                samples_per_family=2,
+                gnn_hidden=(6, 4),
+                gnn_epochs=2,
+                explainer_epochs=3,
+                pgexplainer_epochs=1,
+                subgraphx_iterations=2,
+            )
+        )
+        with pytest.raises(ValueError, match="GNN shape"):
+            load_models_into(other, tmp_path / "m")
+
+    def test_theta_restored(self, tiny_artifacts, tmp_path):
+        save_models(tiny_artifacts, tmp_path / "m")
+        fresh = run_pipeline(TINY)
+        load_models_into(fresh, tmp_path / "m")
+        original = tiny_artifacts.explainers["CFGExplainer"].theta
+        restored = fresh.explainers["CFGExplainer"].theta
+        for a, b in zip(original.parameters(), restored.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)

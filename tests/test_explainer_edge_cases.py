@@ -1,0 +1,108 @@
+"""Edge cases and failure injection across all explainers."""
+
+import numpy as np
+import pytest
+
+from repro.acfg import ACFG, ACFGDataset
+from repro.baselines import (
+    DegreeExplainer,
+    GNNExplainerBaseline,
+    PGExplainerBaseline,
+    RandomExplainer,
+    SubgraphXBaseline,
+)
+from repro.core import CFGExplainer, interpret
+
+
+def edgeless_graph(n=6, n_real=3):
+    features = np.zeros((n, 12))
+    features[:n_real] = 0.5
+    return ACFG(np.zeros((n, n)), features, label=0, family="Bagle", n_real=n_real)
+
+
+def single_node_graph(n=4):
+    features = np.zeros((n, 12))
+    features[0] = 1.0
+    return ACFG(np.zeros((n, n)), features, label=0, family="Bagle", n_real=1)
+
+
+@pytest.fixture()
+def all_ranking_explainers(trained_gnn):
+    return [
+        GNNExplainerBaseline(trained_gnn, epochs=3),
+        SubgraphXBaseline(trained_gnn, mcts_iterations=3, shapley_samples=2),
+        RandomExplainer(trained_gnn),
+        DegreeExplainer(trained_gnn),
+    ]
+
+
+class TestEdgelessGraphs:
+    def test_ranking_explainers_handle_no_edges(self, all_ranking_explainers):
+        graph = edgeless_graph()
+        for explainer in all_ranking_explainers:
+            explanation = explainer.explain(graph, step_size=50)
+            assert sorted(explanation.node_order.tolist()) == [0, 1, 2], explainer.name
+
+    def test_cfgexplainer_handles_no_edges(self, trained_gnn, trained_theta):
+        explanation = interpret(trained_theta, trained_gnn, edgeless_graph())
+        assert sorted(explanation.node_order.tolist()) == [0, 1, 2]
+
+    def test_pgexplainer_ranks_edgeless_graph_after_fit(
+        self, trained_gnn, small_dataset
+    ):
+        train_set, _ = small_dataset
+        explainer = PGExplainerBaseline(trained_gnn, epochs=1)
+        explainer.fit(train_set)
+        explanation = explainer.explain(edgeless_graph())
+        # No edges -> zero scores everywhere, but still a valid permutation.
+        assert sorted(explanation.node_order.tolist()) == [0, 1, 2]
+
+
+class TestSingleNodeGraphs:
+    def test_all_explainers_single_node(self, all_ranking_explainers):
+        graph = single_node_graph()
+        for explainer in all_ranking_explainers:
+            explanation = explainer.explain(graph, step_size=50)
+            assert explanation.node_order.tolist() == [0], explainer.name
+            for level in explanation.levels:
+                assert level.kept_nodes.tolist() == [0]
+
+    def test_cfgexplainer_single_node(self, trained_gnn, trained_theta):
+        explanation = interpret(trained_theta, trained_gnn, single_node_graph())
+        assert explanation.node_order.tolist() == [0]
+
+
+class TestZeroRealNodes:
+    def test_everything_rejects_empty_graph(
+        self, trained_gnn, trained_theta, all_ranking_explainers
+    ):
+        graph = ACFG(np.zeros((3, 3)), np.zeros((3, 12)), 0, "Bagle", n_real=0)
+        with pytest.raises(ValueError):
+            interpret(trained_theta, trained_gnn, graph)
+        for explainer in all_ranking_explainers:
+            with pytest.raises(ValueError):
+                explainer.explain(graph)
+
+
+class TestDatasetEdgeCases:
+    def test_dataset_rejects_mixed_padding(self):
+        g1 = edgeless_graph(n=6)
+        g2 = edgeless_graph(n=8)
+        with pytest.raises(ValueError, match="padded size"):
+            ACFGDataset([g1, g2])
+
+    def test_dataset_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ACFGDataset([])
+
+
+class TestExplainerDissentingPredictions:
+    def test_explainer_explains_the_prediction_not_the_label(
+        self, trained_gnn, trained_theta, small_dataset
+    ):
+        """Explanations must target the GNN's class, right or wrong."""
+        _, test_set = small_dataset
+        explainer = CFGExplainer(trained_gnn, trained_theta)
+        for graph in test_set.graphs[:6]:
+            explanation = explainer.explain(graph, step_size=50)
+            assert explanation.predicted_class == trained_gnn.predict(graph)

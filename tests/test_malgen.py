@@ -1,0 +1,155 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disasm import build_cfg
+from repro.malgen import (
+    FAMILIES,
+    GENERIC_MOTIFS,
+    MOTIF_LIBRARY,
+    MotifWriter,
+    api_names,
+    family_profile,
+    generate_corpus,
+    generate_program,
+)
+from repro.malgen.apis import group_of
+from repro.disasm.program import ProgramBuilder
+
+
+class TestApis:
+    def test_groups_nonempty(self):
+        for names in api_names(), api_names("network"), api_names("process"):
+            assert names
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(ValueError, match="unknown API group"):
+            api_names("nonexistent")
+
+    def test_group_of(self):
+        assert group_of("CreateThread") == "process"
+        assert group_of("RegOpenKeyExA") == "registry"
+        assert group_of("NotAnApi") is None
+
+
+class TestMotifLibrary:
+    def test_all_families_registered(self):
+        assert FAMILIES == (
+            "Bagle", "Bifrose", "Hupigon", "Ldpinch", "Lmir", "Rbot",
+            "Sdbot", "Swizzor", "Vundo", "Zbot", "Zlob", "Benign",
+        )
+
+    def test_generic_motifs_are_subset(self):
+        assert GENERIC_MOTIFS <= set(MOTIF_LIBRARY)
+        assert len(GENERIC_MOTIFS) >= 4
+
+    @pytest.mark.parametrize("name", sorted(MOTIF_LIBRARY))
+    def test_each_motif_emits_valid_code(self, name):
+        """Every motif must produce a buildable program with a valid CFG."""
+        rng = np.random.default_rng(7)
+        writer = MotifWriter(ProgramBuilder(name))
+        span = writer.run_motif(name, rng)
+        assert span.stop > span.start, "motif emitted nothing"
+        writer.emit("ret")
+        writer.flush_helpers(rng)
+        cfg = build_cfg(writer.build())
+        assert cfg.node_count >= 1
+
+    def test_unknown_motif_raises(self):
+        writer = MotifWriter(ProgramBuilder())
+        with pytest.raises(ValueError, match="unknown motif"):
+            writer.run_motif("no_such_motif", np.random.default_rng(0))
+
+    def test_helper_reuse(self):
+        rng = np.random.default_rng(0)
+        writer = MotifWriter(ProgramBuilder())
+        writer.run_motif("seh_prolog", rng)
+        writer.run_motif("seh_prolog", rng)
+        writer.emit("ret")
+        writer.flush_helpers(rng)
+        program = writer.build()
+        assert "_SEH_prolog" in program.labels
+
+
+class TestFamilyProfiles:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_profile_exists(self, family):
+        profile = family_profile(family)
+        assert profile.name == family
+        assert set(profile.signature_motifs) <= set(MOTIF_LIBRARY)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            family_profile("NotAFamily")
+
+
+class TestGenerateProgram:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_generates_valid_cfg(self, family):
+        program, spans = generate_program(family, seed=3)
+        cfg = build_cfg(program)
+        assert cfg.node_count > 5
+        assert cfg.edge_count > 5
+        assert spans
+
+    def test_deterministic_per_seed(self):
+        p1, s1 = generate_program("Rbot", seed=42)
+        p2, s2 = generate_program("Rbot", seed=42)
+        assert p1.to_text() == p2.to_text()
+        assert s1 == s2
+
+    def test_different_seeds_differ(self):
+        p1, _ = generate_program("Rbot", seed=1)
+        p2, _ = generate_program("Rbot", seed=2)
+        assert p1.to_text() != p2.to_text()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=100_000),
+    )
+    def test_property_every_program_builds(self, family, seed):
+        """Any (family, seed) pair yields a structurally valid program."""
+        program, spans = generate_program(family, seed)
+        cfg = build_cfg(program)
+        matrix = cfg.adjacency_matrix()
+        assert set(np.unique(matrix)) <= {0, 1, 2}
+        # Spans are within bounds and non-overlapping by construction order.
+        for span in spans:
+            assert 0 <= span.start <= span.stop <= len(program)
+
+
+class TestGenerateCorpus:
+    def test_balanced_and_labelled(self):
+        corpus = generate_corpus(3, seed=1)
+        assert len(corpus) == 3 * len(FAMILIES)
+        by_family = {}
+        for sample in corpus:
+            by_family.setdefault(sample.family, []).append(sample)
+            assert FAMILIES[sample.label] == sample.family
+        assert all(len(v) == 3 for v in by_family.values())
+
+    def test_block_tags_align_with_blocks(self):
+        corpus = generate_corpus(1, seed=2)
+        for sample in corpus:
+            assert len(sample.block_tags) == sample.cfg.node_count
+
+    def test_malware_families_have_signature_blocks(self):
+        corpus = generate_corpus(2, seed=3)
+        for sample in corpus:
+            if sample.family != "Benign":
+                assert sample.signature_blocks, f"{sample.family} has no signature blocks"
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_corpus(0)
+
+    def test_disjoint_base_seeds_do_not_collide(self):
+        c1 = generate_corpus(1, seed=0)
+        c2 = generate_corpus(1, seed=1)
+        texts1 = {s.program.to_text() for s in c1}
+        texts2 = {s.program.to_text() for s in c2}
+        assert not texts1 & texts2

@@ -1,0 +1,36 @@
+"""Tests for corpus size scaling."""
+
+import numpy as np
+import pytest
+
+from repro.disasm import build_cfg
+from repro.malgen import generate_corpus, generate_program
+
+
+class TestSizeMultiplier:
+    def test_multiplier_grows_graphs(self):
+        small, _ = generate_program("Rbot", seed=5, size_multiplier=1)
+        large, _ = generate_program("Rbot", seed=5, size_multiplier=4)
+        assert build_cfg(large).node_count > build_cfg(small).node_count
+
+    def test_multiplier_one_is_default(self):
+        default, _ = generate_program("Zbot", seed=9)
+        explicit, _ = generate_program("Zbot", seed=9, size_multiplier=1)
+        assert default.to_text() == explicit.to_text()
+
+    def test_invalid_multiplier_raises(self):
+        with pytest.raises(ValueError):
+            generate_program("Zbot", seed=0, size_multiplier=0)
+
+    def test_corpus_passes_multiplier_through(self):
+        small = generate_corpus(1, seed=3, size_multiplier=1)
+        large = generate_corpus(1, seed=3, size_multiplier=3)
+        small_mean = np.mean([s.cfg.node_count for s in small])
+        large_mean = np.mean([s.cfg.node_count for s in large])
+        assert large_mean > 2 * small_mean
+
+    def test_scaled_programs_remain_valid(self):
+        for sample in generate_corpus(1, seed=4, size_multiplier=3):
+            matrix = sample.cfg.adjacency_matrix()
+            assert set(np.unique(matrix)) <= {0, 1, 2}
+            assert len(sample.block_tags) == sample.cfg.node_count

@@ -1,0 +1,131 @@
+"""Tests for the assembly parser and model checkpointing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disasm import build_cfg
+from repro.disasm.parser import ParseError, parse_program
+from repro.gnn import GCNClassifier
+from repro.malgen import FAMILIES, generate_program
+from repro.nn.serialize import load_module_into, save_module
+
+
+class TestParseProgram:
+    def test_basic_listing(self):
+        program = parse_program(
+            """
+            mov eax, 1
+            cmp eax, 0
+            je done
+            inc eax
+            done:
+            ret
+            """
+        )
+        assert len(program) == 5
+        assert program.labels["done"] == 4
+        cfg = build_cfg(program)
+        assert cfg.node_count == 3
+
+    def test_comments_stripped(self):
+        program = parse_program("mov eax, 1 ; set accumulator\n; full line comment\nret")
+        assert len(program) == 2
+
+    def test_quoted_string_with_comma(self):
+        program = parse_program("push 'hello, world'\nret")
+        assert program.instructions[0].operands == ("'hello, world'",)
+
+    def test_memory_operand_with_comma_free_brackets(self):
+        program = parse_program("mov eax, [ebp+8]\nret")
+        assert program.instructions[0].operands == ("eax", "[ebp+8]")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(ParseError, match="duplicate label"):
+            parse_program("x:\nnop\nx:\nret")
+
+    def test_empty_label_raises(self):
+        with pytest.raises(ParseError, match="empty label"):
+            parse_program(" :\nret")
+
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program("nop\nfrobnicate eax\nret")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_program("push 'oops\nret")
+
+    def test_trailing_label_anchored(self):
+        program = parse_program("jmp end\nend:")
+        assert program.instructions[-1].is_return
+
+    def test_case_insensitive_mnemonics(self):
+        program = parse_program("MOV EAX, 1\nRET")
+        assert program.instructions[0].mnemonic == "mov"
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    def test_property_roundtrip_generated_programs(self, family, seed):
+        """to_text() output parses back to an equivalent program."""
+        program, _ = generate_program(family, seed)
+        parsed = parse_program(program.to_text(), name=program.name)
+        assert len(parsed) == len(program)
+        assert parsed.labels == program.labels
+        for original, reparsed in zip(program.instructions, parsed.instructions):
+            assert original == reparsed
+        original_cfg = build_cfg(program)
+        reparsed_cfg = build_cfg(parsed)
+        np.testing.assert_array_equal(
+            original_cfg.adjacency_matrix(), reparsed_cfg.adjacency_matrix()
+        )
+
+
+class TestSerialize:
+    def test_roundtrip_preserves_behaviour(self, tmp_path):
+        model = GCNClassifier(hidden=(8, 4), rng=np.random.default_rng(0))
+        save_module(model, tmp_path / "gnn.npz", config={"hidden": [8, 4]})
+
+        clone = GCNClassifier(hidden=(8, 4), rng=np.random.default_rng(9))
+        config = load_module_into(clone, tmp_path / "gnn.npz")
+        assert config == {"hidden": [8, 4]}
+        for a, b in zip(model.parameters(), clone.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_suffix_added_on_load(self, tmp_path):
+        model = GCNClassifier(hidden=(8, 4), rng=np.random.default_rng(0))
+        save_module(model, tmp_path / "ckpt.npz")
+        clone = GCNClassifier(hidden=(8, 4))
+        load_module_into(clone, tmp_path / "ckpt")  # no suffix
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        model = GCNClassifier(hidden=(8, 4), rng=np.random.default_rng(0))
+        save_module(model, tmp_path / "gnn.npz")
+        wrong_depth = GCNClassifier(hidden=(8, 4, 2))
+        with pytest.raises(ValueError, match="parameters"):
+            load_module_into(wrong_depth, tmp_path / "gnn.npz")
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        model = GCNClassifier(hidden=(8, 4), rng=np.random.default_rng(0))
+        save_module(model, tmp_path / "gnn.npz")
+        wrong_width = GCNClassifier(hidden=(8, 6))
+        with pytest.raises(ValueError, match="shape"):
+            load_module_into(wrong_width, tmp_path / "gnn.npz")
+
+    def test_explainer_model_roundtrip(self, tmp_path):
+        from repro.core import CFGExplainerModel
+
+        theta = CFGExplainerModel(16, 12, rng=np.random.default_rng(1))
+        save_module(theta, tmp_path / "theta.npz")
+        clone = CFGExplainerModel(16, 12, rng=np.random.default_rng(2))
+        load_module_into(clone, tmp_path / "theta.npz")
+        z = np.abs(np.random.default_rng(3).normal(size=(5, 16)))
+        from repro.nn import Tensor
+
+        np.testing.assert_allclose(
+            theta.scorer(Tensor(z)).numpy(), clone.scorer(Tensor(z)).numpy()
+        )

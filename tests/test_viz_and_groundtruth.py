@@ -1,0 +1,119 @@
+"""Tests for the DOT/text renderers and the ground-truth recovery metric."""
+
+import numpy as np
+import pytest
+
+from repro.acfg import FeatureScaler, from_sample
+from repro.baselines import DegreeExplainer, RandomExplainer
+from repro.explain.groundtruth import mean_signature_recovery, signature_recovery
+from repro.malgen import generate_corpus
+from repro.viz import (
+    cfg_to_dot,
+    explanation_to_dot,
+    render_block_listing,
+    render_importance_bars,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_and_explanation(trained_gnn):
+    corpus = generate_corpus(1, seed=31)
+    sample = next(s for s in corpus if s.family == "Zbot")
+    graph = from_sample(sample)
+    scaler = FeatureScaler().fit([graph])
+    explainer = DegreeExplainer(trained_gnn)
+    return sample, explainer.explain(scaler.transform(graph), step_size=20)
+
+
+class TestDotExport:
+    def test_cfg_to_dot_structure(self, sample_and_explanation):
+        sample, _ = sample_and_explanation
+        dot = cfg_to_dot(sample.cfg, name="zbot")
+        assert dot.startswith('digraph "zbot"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == len(sample.cfg.edges)
+        for block in sample.cfg.blocks:
+            assert f"n{block.index} [" in dot
+
+    def test_call_edges_dashed(self, sample_and_explanation):
+        sample, _ = sample_and_explanation
+        dot = cfg_to_dot(sample.cfg)
+        from repro.disasm import EdgeKind
+
+        call_edges = sum(1 for _, _, k in sample.cfg.edges if k is EdgeKind.CALL)
+        assert dot.count("style=dashed") == call_edges
+
+    def test_explanation_outlines_top_nodes(self, sample_and_explanation):
+        sample, explanation = sample_and_explanation
+        dot = explanation_to_dot(sample.cfg, explanation, fraction=0.2)
+        top = explanation.top_nodes(0.2)
+        assert dot.count("color=red") == top.size
+
+    def test_quotes_escaped(self, sample_and_explanation):
+        sample, _ = sample_and_explanation
+        dot = cfg_to_dot(sample.cfg, name='has "quotes"')
+        assert '\\"quotes\\"' in dot
+
+
+class TestTextRendering:
+    def test_block_listing_shows_top_blocks(self, sample_and_explanation):
+        sample, explanation = sample_and_explanation
+        text = render_block_listing(sample.cfg, explanation, top_k=3)
+        assert text.count("#") >= 3
+        first = int(explanation.node_order[0])
+        assert str(sample.cfg.blocks[first].instructions[0]) in text
+
+    def test_importance_bars(self, sample_and_explanation):
+        _, explanation = sample_and_explanation
+        text = render_importance_bars(explanation, top_k=5)
+        assert len(text.splitlines()) == 5
+        assert "|" in text
+
+    def test_bars_require_scores(self, sample_and_explanation):
+        _, explanation = sample_and_explanation
+        from dataclasses import replace
+
+        stripped = replace(explanation, node_scores=None)
+        with pytest.raises(ValueError, match="no scores"):
+            render_importance_bars(stripped)
+
+
+class TestSignatureRecovery:
+    def make_pairs(self, trained_gnn, explainer_cls, count=6):
+        corpus = [s for s in generate_corpus(1, seed=41) if s.family != "Benign"]
+        graphs = [from_sample(s) for s in corpus]
+        scaler = FeatureScaler().fit(graphs)
+        explainer = explainer_cls(trained_gnn)
+        pairs = []
+        for sample, graph in zip(corpus[:count], graphs[:count]):
+            pairs.append((sample, explainer.explain(scaler.transform(graph))))
+        return pairs
+
+    def test_recovery_bounds(self, trained_gnn):
+        pairs = self.make_pairs(trained_gnn, DegreeExplainer)
+        for sample, explanation in pairs:
+            result = signature_recovery(sample, explanation, fraction=0.2)
+            assert 0.0 <= result.precision <= 1.0
+            assert 0.0 <= result.recall <= 1.0 or np.isnan(result.recall)
+
+    def test_full_fraction_has_full_recall(self, trained_gnn):
+        pairs = self.make_pairs(trained_gnn, RandomExplainer, count=3)
+        for sample, explanation in pairs:
+            result = signature_recovery(sample, explanation, fraction=1.0)
+            assert result.recall == pytest.approx(1.0)
+
+    def test_mean_recovery_aggregates(self, trained_gnn):
+        pairs = self.make_pairs(trained_gnn, RandomExplainer)
+        mean = mean_signature_recovery(pairs, fraction=0.2)
+        assert 0.0 <= mean.precision <= 1.0
+        assert mean.signature_total > 0
+
+    def test_empty_pairs_raise(self):
+        with pytest.raises(ValueError):
+            mean_signature_recovery([])
+
+    def test_f1_zero_when_no_overlap(self):
+        from repro.explain.groundtruth import SignatureRecovery
+
+        assert SignatureRecovery(0.0, 0.0, 5, 5).f1 == 0.0
+        assert SignatureRecovery(0.5, 0.5, 5, 5).f1 == pytest.approx(0.5)
