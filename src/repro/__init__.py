@@ -36,8 +36,8 @@ from repro.core import (
     train_cfgexplainer,
 )
 from repro.eval import (
-    PAPER_SCALE_CONFIG,
     ExperimentConfig,
+    PAPER_SCALE_CONFIG,
     PipelineArtifacts,
     run_pipeline,
     sweep_all_families,
@@ -53,6 +53,12 @@ from repro.explain import (
 )
 from repro.gnn import GCNClassifier, evaluate_accuracy, train_gnn
 from repro.malgen import FAMILIES, generate_corpus, generate_program
+from repro.staticcheck import (
+    CorpusVerification,
+    CorpusVerificationError,
+    verify_corpus,
+    verify_sample,
+)
 
 __version__ = "1.0.0"
 
@@ -90,5 +96,9 @@ __all__ = [
     "FAMILIES",
     "generate_corpus",
     "generate_program",
+    "CorpusVerification",
+    "CorpusVerificationError",
+    "verify_corpus",
+    "verify_sample",
     "__version__",
 ]

@@ -1,5 +1,6 @@
 """Attributed Control Flow Graphs: Table I features, padding, datasets."""
 
+from repro.acfg.dataset import ACFGDataset, FeatureScaler, train_test_split
 from repro.acfg.features import (
     FEATURE_NAMES,
     NUM_FEATURES,
@@ -7,7 +8,6 @@ from repro.acfg.features import (
     cfg_feature_matrix,
 )
 from repro.acfg.graph import ACFG, from_sample
-from repro.acfg.dataset import ACFGDataset, FeatureScaler, train_test_split
 
 __all__ = [
     "FEATURE_NAMES",

@@ -63,8 +63,21 @@ class ACFGDataset:
         corpus: list[LabeledSample],
         pad_to: int | None = None,
         families: tuple[str, ...] = FAMILIES,
+        verify: str | None = None,
     ) -> "ACFGDataset":
-        """Convert a generated corpus, padding all graphs to a common N."""
+        """Convert a generated corpus, padding all graphs to a common N.
+
+        ``verify`` runs the :mod:`repro.staticcheck` invariant gate over
+        the corpus first: ``"strict"`` raises
+        :class:`repro.staticcheck.CorpusVerificationError` on any
+        structural violation, ``"warn"`` downgrades to a warning, and
+        ``None`` (the default) skips verification.
+        """
+        if verify is not None:
+            # Imported here: repro.staticcheck depends on repro.acfg.
+            from repro.staticcheck import verify_corpus
+
+            verify_corpus(corpus, mode=verify)
         graphs = [from_sample(sample) for sample in corpus]
         max_nodes = max(g.n for g in graphs)
         if pad_to is None:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.disasm.cfg import CFG, BasicBlock
+from repro.disasm.cfg import BasicBlock, CFG
 from repro.disasm.isa import InstructionCategory
 
 __all__ = ["FEATURE_NAMES", "NUM_FEATURES", "block_features", "cfg_feature_matrix"]

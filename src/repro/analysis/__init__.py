@@ -6,15 +6,15 @@ semantic-NOP obfuscation, self-looping jumps.  Macro-level: hypothesize
 behaviour from the Windows API calls appearing in important blocks.
 """
 
+from repro.analysis.macro import BehaviorHypothesis, macro_analysis
 from repro.analysis.micro import (
     MicroFinding,
     detect_code_manipulation,
-    detect_semantic_nop_obfuscation,
     detect_self_loop,
+    detect_semantic_nop_obfuscation,
     detect_xor_obfuscation,
     micro_analysis,
 )
-from repro.analysis.macro import BehaviorHypothesis, macro_analysis
 from repro.analysis.report import FamilyReport, build_family_reports
 
 __all__ = [

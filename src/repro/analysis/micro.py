@@ -8,7 +8,10 @@ Implements the four pattern detectors behind the paper's Table V:
   ``call ds:Sleep; mov eax, [ebp+var_EC]``).
 * **XOR obfuscation** — XOR used for data mangling rather than the
   compiler's self-zeroing idiom: XOR of two *different* registers, XOR
-  with an immediate key, or XOR against memory.
+  with an immediate key, or XOR against memory.  The liveness pass from
+  :mod:`repro.staticcheck.dataflow` suppresses XORs whose result is
+  provably dead (overwritten before any read) — compiler junk, not
+  obfuscation — removing a class of Table V false positives.
 * **Semantic-NOP obfuscation** — runs of NOPs and one-byte NOP aliases
   (``mov edx, edx``, ``xchg dl, dl``).
 * **Self-looping jumps** — blocks that unconditionally jump to
@@ -20,9 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.disasm.cfg import CFG, BasicBlock
+from repro.disasm.cfg import BasicBlock, CFG
 from repro.disasm.instruction import Instruction
 from repro.disasm.isa import is_register
+from repro.staticcheck.dataflow import dead_stores
 
 __all__ = [
     "MicroFinding",
@@ -82,12 +86,22 @@ def detect_code_manipulation(block: BasicBlock) -> list[MicroFinding]:
     return findings
 
 
-def detect_xor_obfuscation(block: BasicBlock) -> list[MicroFinding]:
-    """XOR uses that mangle data (excluding the self-zeroing idiom)."""
+def detect_xor_obfuscation(
+    block: BasicBlock, dead_offsets: set[int] | None = None
+) -> list[MicroFinding]:
+    """XOR uses that mangle data (excluding the self-zeroing idiom).
+
+    ``dead_offsets`` lists instruction offsets within the block whose
+    register result is dead (from ``repro.staticcheck.dataflow``); XORs
+    there are dead stores — junk the compiler or a padder emitted — and
+    are not reported.  Without it the detector is purely syntactic.
+    """
     findings = []
-    for instruction in block.instructions:
+    for offset, instruction in enumerate(block.instructions):
         if instruction.mnemonic != "xor" or len(instruction.operands) != 2:
             continue
+        if dead_offsets is not None and offset in dead_offsets:
+            continue  # result never read: dead zeroing/junk, not mangling
         dst, src = (op.lower() for op in instruction.operands)
         if dst == src:
             continue  # xor eax, eax — ordinary zeroing, not obfuscation
@@ -134,16 +148,28 @@ def detect_self_loop(cfg: CFG, block: BasicBlock) -> list[MicroFinding]:
 
 
 def micro_analysis(
-    cfg: CFG, block_indices: list[int] | None = None
+    cfg: CFG,
+    block_indices: list[int] | None = None,
+    *,
+    use_liveness: bool = True,
 ) -> list[MicroFinding]:
-    """Run every detector over the given blocks (all blocks by default)."""
+    """Run every detector over the given blocks (all blocks by default).
+
+    ``use_liveness`` (default on) runs the dead-store pass once over the
+    whole CFG so the XOR detector can skip provably dead results; pass
+    ``False`` to reproduce the purely syntactic pre-liveness behaviour.
+    """
     if block_indices is None:
         block_indices = list(range(cfg.node_count))
+    dead_by_block: dict[int, set[int]] = {}
+    if use_liveness and cfg.blocks:
+        for store in dead_stores(cfg):
+            dead_by_block.setdefault(store.block_index, set()).add(store.offset)
     findings: list[MicroFinding] = []
     for index in block_indices:
         block = cfg.blocks[index]
         findings.extend(detect_code_manipulation(block))
-        findings.extend(detect_xor_obfuscation(block))
+        findings.extend(detect_xor_obfuscation(block, dead_by_block.get(index)))
         findings.extend(detect_semantic_nop_obfuscation(block))
         findings.extend(detect_self_loop(cfg, block))
     return findings

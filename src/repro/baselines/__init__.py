@@ -15,8 +15,8 @@ ablation benchmarks.
 
 from repro.baselines.gnnexplainer import GNNExplainerBaseline
 from repro.baselines.pgexplainer import PGExplainerBaseline
-from repro.baselines.subgraphx import SubgraphXBaseline
 from repro.baselines.simple import DegreeExplainer, RandomExplainer
+from repro.baselines.subgraphx import SubgraphXBaseline
 
 __all__ = [
     "GNNExplainerBaseline",

@@ -23,8 +23,8 @@ import numpy as np
 
 from repro.acfg.dataset import ACFGDataset
 from repro.acfg.graph import ACFG
-from repro.explain.base import RankingExplainer
 from repro.baselines.gnnexplainer import edge_mass_node_scores
+from repro.explain.base import RankingExplainer
 from repro.gnn.model import GCNClassifier
 from repro.gnn.normalize import normalized_adjacency
 from repro.nn import Adam, Dense, Module, Tensor, nll_loss_from_probs, no_grad

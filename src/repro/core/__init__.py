@@ -6,6 +6,7 @@ surrogate to iteratively prune the ACFG into an importance ordering and
 a ladder of explanation subgraphs (Algorithm 2).
 """
 
+from repro.core.interpret import CFGExplainer, interpret
 from repro.core.model import (
     CFGExplainerEnsemble,
     CFGExplainerModel,
@@ -13,7 +14,6 @@ from repro.core.model import (
     SurrogateClassifier,
 )
 from repro.core.training import ExplainerTrainingHistory, train_cfgexplainer
-from repro.core.interpret import CFGExplainer, interpret
 
 __all__ = [
     "NodeScorer",

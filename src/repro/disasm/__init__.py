@@ -8,6 +8,8 @@ container with labels, and a leader-based control-flow-graph builder
 producing the typed edges the paper uses (fallthrough/jump = 1, call = 2).
 """
 
+from repro.disasm.cfg import BasicBlock, CFG, EdgeKind, build_cfg, find_leaders
+from repro.disasm.instruction import Instruction
 from repro.disasm.isa import (
     CONDITIONAL_JUMPS,
     InstructionCategory,
@@ -16,10 +18,8 @@ from repro.disasm.isa import (
     category_of,
     is_register,
 )
-from repro.disasm.instruction import Instruction
-from repro.disasm.program import Program, ProgramBuilder
-from repro.disasm.cfg import CFG, BasicBlock, EdgeKind, build_cfg
 from repro.disasm.parser import ParseError, parse_program
+from repro.disasm.program import Program, ProgramBuilder
 
 __all__ = [
     "InstructionCategory",
@@ -35,6 +35,7 @@ __all__ = [
     "BasicBlock",
     "EdgeKind",
     "build_cfg",
+    "find_leaders",
     "parse_program",
     "ParseError",
 ]

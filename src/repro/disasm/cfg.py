@@ -16,7 +16,7 @@ import numpy as np
 from repro.disasm.instruction import Instruction
 from repro.disasm.program import Program
 
-__all__ = ["EdgeKind", "BasicBlock", "CFG", "build_cfg"]
+__all__ = ["BasicBlock", "CFG", "EdgeKind", "build_cfg", "find_leaders"]
 
 
 class EdgeKind(enum.Enum):
@@ -103,8 +103,12 @@ class CFG:
         return graph
 
 
-def _find_leaders(program: Program) -> list[int]:
-    """Instruction indices that start basic blocks."""
+def find_leaders(program: Program) -> list[int]:
+    """Instruction indices that start basic blocks.
+
+    Public so the ``repro.staticcheck`` verifier can independently
+    recompute leaders and diff them against a CFG's block starts.
+    """
     leaders: set[int] = {0}
     leaders.update(i for i in program.labels.values() if i < len(program))
     for i, instruction in enumerate(program.instructions):
@@ -121,7 +125,7 @@ def build_cfg(program: Program) -> CFG:
     if not program.instructions:
         return CFG([], [], program.name)
 
-    leaders = _find_leaders(program)
+    leaders = find_leaders(program)
     boundaries = leaders + [len(program)]
 
     blocks: list[BasicBlock] = []

@@ -35,7 +35,7 @@ class Instruction:
     mnemonic: str
     operands: tuple[str, ...] = field(default_factory=tuple)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "mnemonic", self.mnemonic.lower())
         # Validate eagerly: an unknown mnemonic is a generator bug.
         category_of(self.mnemonic)

@@ -19,11 +19,11 @@ __all__ = ["parse_program", "ParseError"]
 class ParseError(ValueError):
     """A line could not be parsed; carries the 1-based line number."""
 
-    def __init__(self, line_number: int, line: str, reason: str):
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
         super().__init__(f"line {line_number}: {reason}: {line!r}")
-        self.line_number = line_number
-        self.line = line
-        self.reason = reason
+        self.line_number: int = line_number
+        self.line: str = line
+        self.reason: str = reason
 
 
 def _split_operands(text: str) -> tuple[str, ...]:

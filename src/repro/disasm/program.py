@@ -22,7 +22,7 @@ class Program:
     labels: dict[str, int] = field(default_factory=dict)
     name: str = "program"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for label, index in self.labels.items():
             if not 0 <= index <= len(self.instructions):
                 raise ValueError(
@@ -61,7 +61,7 @@ class ProgramBuilder:
     >>> program = b.build()
     """
 
-    def __init__(self, name: str = "program"):
+    def __init__(self, name: str = "program") -> None:
         self._name = name
         self._instructions: list[Instruction] = []
         self._labels: dict[str, int] = {}

@@ -1,5 +1,13 @@
 """End-to-end evaluation harness reproducing the paper's Section V."""
 
+from repro.eval.agreement import (
+    AgreementRow,
+    agreement_rows,
+    format_agreement,
+    static_agreement,
+    suspicious_blocks,
+)
+from repro.eval.persistence import load_models_into, save_models
 from repro.eval.pipeline import (
     ExperimentConfig,
     PAPER_SCALE_CONFIG,
@@ -14,21 +22,25 @@ from repro.eval.tables import (
     format_table4,
 )
 from repro.eval.timing import ExplainerTiming, measure_timings
-from repro.eval.persistence import load_models_into, save_models
 
 __all__ = [
-    "ExperimentConfig",
     "PAPER_SCALE_CONFIG",
-    "PipelineArtifacts",
-    "run_pipeline",
+    "AgreementRow",
+    "ExperimentConfig",
+    "ExplainerTiming",
     "FamilySweep",
-    "sweep_all_families",
+    "PipelineArtifacts",
+    "agreement_rows",
     "build_table3",
+    "format_agreement",
+    "format_figure2",
     "format_table3",
     "format_table4",
-    "format_figure2",
-    "ExplainerTiming",
-    "measure_timings",
-    "save_models",
     "load_models_into",
+    "measure_timings",
+    "run_pipeline",
+    "save_models",
+    "static_agreement",
+    "suspicious_blocks",
+    "sweep_all_families",
 ]

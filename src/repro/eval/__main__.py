@@ -3,17 +3,25 @@
 Usage::
 
     python -m repro.eval [--quick] [--samples N] [--seed S]
+    python -m repro.eval verify [--samples N] [--seed S] [--mode strict|warn]
 
-This is what generated the measurements recorded in EXPERIMENTS.md.
+The bare invocation regenerates the paper artifacts (Figure 2, Tables
+III–V, plus the static-agreement table); it is what generated the
+measurements recorded in EXPERIMENTS.md.  The ``verify`` subcommand
+runs only the :mod:`repro.staticcheck` corpus gate: it regenerates the
+synthetic corpus and checks every CFG/ACFG invariant, exiting non-zero
+in strict mode if any is violated.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 
 from repro.analysis import build_family_reports
 from repro.analysis.report import format_table_v
+from repro.eval.agreement import agreement_rows, format_agreement
 from repro.eval.pipeline import ExperimentConfig, run_pipeline
 from repro.eval.sweep import sweep_all_families
 from repro.eval.tables import (
@@ -30,11 +38,64 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--quick", action="store_true", help="reduced configuration")
     parser.add_argument("--samples", type=int, default=None, help="graphs per family")
     parser.add_argument("--seed", type=int, default=0)
+
+    subparsers = parser.add_subparsers(dest="command")
+    verify = subparsers.add_parser(
+        "verify",
+        help="run the staticcheck invariant gate over the synthetic corpus",
+        description="Regenerate the corpus and verify every CFG/ACFG invariant.",
+    )
+    verify.add_argument("--samples", type=int, default=20, help="graphs per family")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--size-multiplier", type=int, default=3, help="per-program size scaling"
+    )
+    verify.add_argument(
+        "--mode",
+        choices=("strict", "warn"),
+        default="strict",
+        help="strict exits non-zero on invariant violations",
+    )
+    verify.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the liveness/reachability signals (structure checks only)",
+    )
     return parser.parse_args()
 
 
-def main() -> None:
-    args = parse_args()
+def run_verify(args: argparse.Namespace) -> int:
+    """The ``verify`` subcommand: corpus generation + invariant gate."""
+    from repro.malgen import generate_corpus
+    from repro.staticcheck import CorpusVerificationError, verify_corpus
+
+    start = time.time()
+    try:
+        corpus = generate_corpus(
+            args.samples, seed=args.seed, size_multiplier=args.size_multiplier
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"# Corpus verification ({len(corpus)} samples, seed {args.seed}, "
+        f"mode {args.mode})\n"
+    )
+    try:
+        report = verify_corpus(
+            corpus, mode=args.mode, dataflow=not args.no_dataflow
+        )
+    except CorpusVerificationError as error:
+        print(error.report.summary())
+        print(f"\nFAILED in {time.time() - start:.1f}s")
+        return 1
+    print(report.summary())
+    print(f"\n{'OK' if report.ok else 'VIOLATIONS FOUND'} in {time.time() - start:.1f}s")
+    return 0 if report.ok else 1
+
+
+def run_evaluation(args: argparse.Namespace) -> int:
+    """The default command: every paper artifact plus static agreement."""
     if args.quick:
         config = ExperimentConfig(
             samples_per_family=args.samples or 6,
@@ -80,7 +141,20 @@ def main() -> None:
                 (artifacts.sample_for(graph.name), explainer.explain(graph))
             )
     print(format_table_v(build_family_reports(pairs)))
+
+    print("\n## Static agreement — top-20% blocks vs static analysis\n")
+    print(format_agreement(
+        agreement_rows(sweeps, artifacts.samples_by_name, fraction=0.2)
+    ))
     print(f"\nTotal wall clock: {time.time() - start:.0f}s")
+    return 0
+
+
+def main() -> None:
+    args = parse_args()
+    if getattr(args, "command", None) == "verify":
+        sys.exit(run_verify(args))
+    sys.exit(run_evaluation(args))
 
 
 if __name__ == "__main__":

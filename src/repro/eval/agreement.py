@@ -1,0 +1,125 @@
+"""Static-agreement metric: explainer top-k blocks vs static analysis.
+
+Related work argues GNN explanations for malware need an *independent*
+static signal to be validated against (Shokouhinejad et al., "On the
+Consistency of GNN Explanations for Malware Detection").  This module
+provides that signal for the evaluation: for every test graph it takes
+the blocks the liveness-aware Table V detectors flag as suspicious and
+measures how much of that set each explainer's top-``fraction`` blocks
+recover.  Reported alongside the paper's tables without changing any
+of their schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.micro import micro_analysis
+from repro.eval.sweep import FamilySweep
+from repro.explain.explanation import Explanation
+from repro.malgen.corpus import LabeledSample
+
+__all__ = [
+    "AgreementRow",
+    "agreement_rows",
+    "format_agreement",
+    "static_agreement",
+    "suspicious_blocks",
+]
+
+
+def suspicious_blocks(sample: LabeledSample) -> frozenset[int]:
+    """Blocks the liveness-aware micro detectors flag in the full CFG."""
+    return frozenset(f.block_index for f in micro_analysis(sample.cfg))
+
+
+@dataclass(frozen=True)
+class AgreementRow:
+    """Static agreement of one explainer, averaged over test graphs.
+
+    ``coverage`` is the mean fraction of statically suspicious blocks
+    that appear in the explainer's top-``fraction`` selection;
+    ``random_baseline`` is the expected coverage of a uniformly random
+    ranking of the same size (≈ the kept fraction), for calibration.
+    """
+
+    explainer_name: str
+    fraction: float
+    graphs_scored: int
+    coverage: float
+    random_baseline: float
+
+
+def static_agreement(
+    pairs: list[tuple[LabeledSample, Explanation]], fraction: float = 0.2
+) -> tuple[int, float, float]:
+    """Mean coverage over (sample, explanation) pairs with a static signal.
+
+    Returns ``(graphs_scored, coverage, random_baseline)``; graphs whose
+    CFG triggers no detector are skipped (no signal to agree with).
+    """
+    scored = 0
+    coverage_sum = 0.0
+    baseline_sum = 0.0
+    for sample, explanation in pairs:
+        flagged = suspicious_blocks(sample)
+        if not flagged:
+            continue
+        top = set(explanation.top_nodes(fraction).tolist())
+        scored += 1
+        coverage_sum += len(flagged & top) / len(flagged)
+        baseline_sum += len(top) / explanation.graph.n_real
+    if scored == 0:
+        return 0, 0.0, 0.0
+    return scored, coverage_sum / scored, baseline_sum / scored
+
+
+def agreement_rows(
+    sweeps: dict[str, dict[str, FamilySweep]],
+    samples_by_name: dict[str, LabeledSample],
+    fraction: float = 0.2,
+) -> list[AgreementRow]:
+    """Aggregate Figure 2 sweeps into one agreement row per explainer.
+
+    Reuses the explanations the sweeps already computed, so the metric
+    adds no explainer work to the evaluation run.
+    """
+    pairs_by_explainer: dict[str, list[tuple[LabeledSample, Explanation]]] = {}
+    for by_explainer in sweeps.values():
+        for name, sweep in by_explainer.items():
+            pairs = pairs_by_explainer.setdefault(name, [])
+            for explanation in sweep.explanations:
+                pairs.append(
+                    (samples_by_name[explanation.graph.name], explanation)
+                )
+    rows = []
+    for name, pairs in pairs_by_explainer.items():
+        scored, coverage, baseline = static_agreement(pairs, fraction)
+        rows.append(
+            AgreementRow(
+                explainer_name=name,
+                fraction=fraction,
+                graphs_scored=scored,
+                coverage=coverage,
+                random_baseline=baseline,
+            )
+        )
+    return rows
+
+
+def format_agreement(rows: list[AgreementRow]) -> str:
+    """Render the agreement rows as fixed-width text."""
+    if not rows:
+        return "(no graphs with a static signal)"
+    percent = int(round(rows[0].fraction * 100))
+    lines = [
+        f"{'Explainer':14s} | {'Graphs':>6s} | "
+        f"{f'Coverage@{percent}%':>14s} | {'Random':>8s}",
+        "-" * 52,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.explainer_name:14s} | {row.graphs_scored:6d} | "
+            f"{row.coverage:14.4f} | {row.random_baseline:8.4f}"
+        )
+    return "\n".join(lines)

@@ -69,9 +69,19 @@ class ExperimentConfig:
     step_size: int = 10
     seed: int = 0
 
+    #: Corpus invariant gate (repro.staticcheck): "strict" fails the run
+    #: on any CFG/ACFG invariant violation, "warn" downgrades to a
+    #: warning, None skips verification.
+    verify_mode: str | None = "strict"
+
     def __post_init__(self):
         if self.samples_per_family <= 1:
             raise ValueError("need at least 2 samples per family to split")
+        if self.verify_mode not in (None, "strict", "warn"):
+            raise ValueError(
+                f"verify_mode must be None, 'strict' or 'warn', got "
+                f"{self.verify_mode!r}"
+            )
 
 
 #: The configuration reported in the paper (Section V-A), for reference
@@ -116,7 +126,7 @@ def run_pipeline(
         seed=config.corpus_seed,
         size_multiplier=config.size_multiplier,
     )
-    dataset = ACFGDataset.from_corpus(corpus)
+    dataset = ACFGDataset.from_corpus(corpus, verify=config.verify_mode)
     train_raw, test_raw = train_test_split(
         dataset, config.test_fraction, seed=rng_seed
     )

@@ -1,7 +1,12 @@
 """Common explainer interface, explanation objects, and quality metrics."""
 
-from repro.explain.explanation import Explanation, SubgraphLevel
 from repro.explain.base import Explainer, RankingExplainer
+from repro.explain.explanation import Explanation, SubgraphLevel
+from repro.explain.groundtruth import (
+    SignatureRecovery,
+    mean_signature_recovery,
+    signature_recovery,
+)
 from repro.explain.metrics import (
     accuracy_auc,
     fidelity_minus_acc,
@@ -9,11 +14,6 @@ from repro.explain.metrics import (
     sparsity,
     subgraph_accuracy,
     sweep_accuracy_curve,
-)
-from repro.explain.groundtruth import (
-    SignatureRecovery,
-    mean_signature_recovery,
-    signature_recovery,
 )
 
 __all__ = [

@@ -6,9 +6,9 @@ configurable) and Φ_c is a dense softmax classifier that consumes all
 node embeddings via sum pooling.
 """
 
-from repro.gnn.normalize import normalized_adjacency
-from repro.gnn.model import GCNClassifier
 from repro.gnn.dgcnn import DGCNNClassifier
+from repro.gnn.model import GCNClassifier
+from repro.gnn.normalize import normalized_adjacency
 from repro.gnn.train import TrainingHistory, evaluate_accuracy, train_gnn
 
 __all__ = [

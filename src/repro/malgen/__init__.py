@@ -15,14 +15,14 @@ explainers surface the planted discriminative blocks.
 """
 
 from repro.malgen.apis import API_GROUPS, api_names
+from repro.malgen.corpus import LabeledSample, generate_corpus
 from repro.malgen.families import (
     FAMILIES,
     FamilyProfile,
     family_profile,
     generate_program,
 )
-from repro.malgen.corpus import LabeledSample, generate_corpus
-from repro.malgen.motifs import MotifWriter, GENERIC_MOTIFS, MOTIF_LIBRARY
+from repro.malgen.motifs import GENERIC_MOTIFS, MOTIF_LIBRARY, MotifWriter
 
 __all__ = [
     "API_GROUPS",

@@ -6,17 +6,17 @@ functions used by the GNN classifier and CFGExplainer — implemented
 without any deep-learning framework.
 """
 
-from repro.nn.tensor import Tensor, no_grad
 from repro.nn.init import glorot_uniform, he_normal, zeros_init
 from repro.nn.layers import Dense, GCNConv, Module, Sequential
-from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.losses import (
     binary_cross_entropy,
     cross_entropy,
     nll_loss,
     nll_loss_from_probs,
 )
+from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.serialize import load_module_into, save_module
+from repro.nn.tensor import Tensor, no_grad
 
 __all__ = [
     "Tensor",

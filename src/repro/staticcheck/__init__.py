@@ -1,0 +1,80 @@
+"""Static-analysis layer: dataflow analyses + CFG/ACFG invariant verifier.
+
+Three capabilities on top of the ``repro.disasm`` CFG model:
+
+* **Control structure** — dominator trees and natural-loop detection
+  (:mod:`repro.staticcheck.dominators`).
+* **Register dataflow** — reaching definitions and liveness, with
+  unreachable-block and dead-store detection
+  (:mod:`repro.staticcheck.dataflow`).
+* **Invariant verification** — a lint pass with typed findings and
+  severities over CFGs and derived ACFGs, plus a corpus-wide
+  strict/warn gate (:mod:`repro.staticcheck.verifier`,
+  :mod:`repro.staticcheck.corpus`).
+
+The analyses also feed the evaluation: ``repro.analysis.micro`` uses
+liveness to suppress dead-store XOR false positives, and
+``repro.eval.agreement`` measures explainer/static-analysis agreement.
+"""
+
+from repro.staticcheck.corpus import (
+    CorpusVerification,
+    CorpusVerificationError,
+    SampleVerification,
+    verify_corpus,
+)
+from repro.staticcheck.dataflow import (
+    DeadStore,
+    DefUse,
+    Definition,
+    Liveness,
+    ReachingDefinitions,
+    canonical_register,
+    dead_stores,
+    def_use,
+    liveness,
+    reaching_definitions,
+    unreachable_blocks,
+)
+from repro.staticcheck.dominators import (
+    DominatorTree,
+    NaturalLoop,
+    dominator_tree,
+    natural_loops,
+)
+from repro.staticcheck.verifier import (
+    Finding,
+    FindingKind,
+    Severity,
+    verify_acfg,
+    verify_cfg,
+    verify_sample,
+)
+
+__all__ = [
+    "CorpusVerification",
+    "CorpusVerificationError",
+    "DeadStore",
+    "DefUse",
+    "Definition",
+    "DominatorTree",
+    "Finding",
+    "FindingKind",
+    "Liveness",
+    "NaturalLoop",
+    "ReachingDefinitions",
+    "SampleVerification",
+    "Severity",
+    "canonical_register",
+    "dead_stores",
+    "def_use",
+    "dominator_tree",
+    "liveness",
+    "natural_loops",
+    "reaching_definitions",
+    "unreachable_blocks",
+    "verify_acfg",
+    "verify_cfg",
+    "verify_corpus",
+    "verify_sample",
+]

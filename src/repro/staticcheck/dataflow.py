@@ -1,0 +1,406 @@
+"""Register-level dataflow analyses over recovered CFGs.
+
+Provides the classic bit-vector analyses — reaching definitions
+(forward) and liveness (backward) — over the synthetic ISA's
+general-purpose registers, plus the two derived detectors the verifier
+and the Table V detectors consume: unreachable blocks and dead stores.
+
+Modeling choices (documented because they bound what "dead" means):
+
+* Sub-registers alias their parent: ``al``/``ah``/``ax`` and ``eax``
+  are one dataflow location (canonical name ``eax``).  A write to any
+  alias is treated as defining the whole family, which over-approximates
+  liveness slightly but never invents a dead store.
+* ``xor r, r`` / ``sub r, r`` are the self-zeroing idioms: they define
+  ``r`` without reading its previous value.
+* ``call`` reads only ``esp`` (the corpus passes arguments on the
+  stack) and defines nothing — register reads *inside* a local callee
+  flow back to the call site through the CFG's call edges, so a value a
+  helper consumes stays live at the caller.
+* ``ret`` reads the return value (``eax``) and the callee-saved set
+  (``ebx``/``esi``/``edi``/``ebp``/``esp``), so stores establishing a
+  function's result or restoring saved registers are never "dead".
+* Flags are not modeled; ``cmp``/``test`` read their operands only.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.disasm.cfg import CFG
+from repro.disasm.instruction import Instruction
+from repro.disasm.isa import (
+    CONDITIONAL_JUMPS,
+    UNCONDITIONAL_JUMPS,
+    is_register,
+)
+
+__all__ = [
+    "DeadStore",
+    "DefUse",
+    "Definition",
+    "Liveness",
+    "ReachingDefinitions",
+    "canonical_register",
+    "dead_stores",
+    "def_use",
+    "liveness",
+    "reaching_definitions",
+    "unreachable_blocks",
+]
+
+#: Sub-register → canonical 32-bit family name.
+_REGISTER_FAMILY: dict[str, str] = {}
+for _family, _aliases in {
+    "eax": ("eax", "ax", "al", "ah"),
+    "ebx": ("ebx", "bx", "bl", "bh"),
+    "ecx": ("ecx", "cx", "cl", "ch"),
+    "edx": ("edx", "dx", "dl", "dh"),
+    "esi": ("esi", "si"),
+    "edi": ("edi", "di"),
+    "ebp": ("ebp", "bp"),
+    "esp": ("esp", "sp"),
+}.items():
+    for _alias in _aliases:
+        _REGISTER_FAMILY[_alias] = _family
+
+_CALLEE_SAVED: frozenset[str] = frozenset({"ebx", "esi", "edi", "ebp", "esp"})
+_RETURN_USES: frozenset[str] = _CALLEE_SAVED | {"eax"}
+
+_TWO_OP_ARITHMETIC: frozenset[str] = frozenset(
+    {"add", "sub", "xor", "or", "and", "adc", "sbb",
+     "shl", "shr", "sar", "sal", "rol", "ror"}
+)
+_ONE_OP_READ_WRITE: frozenset[str] = frozenset({"inc", "dec", "not", "neg"})
+_MOV_LIKE: frozenset[str] = frozenset({"mov", "movzx", "movsx", "lea"})
+_SELF_ZEROING: frozenset[str] = frozenset({"xor", "sub"})
+
+_OPERAND_SPLIT_RE = re.compile(r"[\[\]+\-*,:\s]+")
+
+
+def canonical_register(name: str) -> str | None:
+    """Canonical family name for a register operand, else ``None``."""
+    return _REGISTER_FAMILY.get(name.lower())
+
+
+def _operand_registers(operand: str) -> frozenset[str]:
+    """Canonical registers appearing anywhere in one operand string."""
+    found: set[str] = set()
+    for token in _OPERAND_SPLIT_RE.split(operand):
+        family = _REGISTER_FAMILY.get(token.lower())
+        if family:
+            found.add(family)
+    return frozenset(found)
+
+
+class DefUse(NamedTuple):
+    """Registers an instruction reads (``uses``) and writes (``defs``)."""
+
+    uses: frozenset[str]
+    defs: frozenset[str]
+
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+def def_use(instruction: Instruction) -> DefUse:
+    """The register-level def/use sets of one instruction."""
+    mnemonic = instruction.mnemonic
+    operands = instruction.operands
+
+    if mnemonic in _MOV_LIKE:
+        uses: set[str] = set()
+        defs: set[str] = set()
+        if operands:
+            destination = operands[0]
+            if is_register(destination):
+                defs.update(_operand_registers(destination))
+            else:
+                uses.update(_operand_registers(destination))
+            for source in operands[1:]:
+                uses.update(_operand_registers(source))
+        return DefUse(frozenset(uses), frozenset(defs))
+
+    if mnemonic == "xchg":
+        touched: set[str] = set()
+        for operand in operands:
+            touched.update(_operand_registers(operand))
+        registers = frozenset(
+            r for op in operands if is_register(op) for r in _operand_registers(op)
+        )
+        return DefUse(frozenset(touched), registers)
+
+    if mnemonic == "push":
+        uses = {"esp"}
+        for operand in operands:
+            uses.update(_operand_registers(operand))
+        return DefUse(frozenset(uses), frozenset({"esp"}))
+
+    if mnemonic == "pop":
+        defs = {"esp"}
+        if operands and is_register(operands[0]):
+            defs.update(_operand_registers(operands[0]))
+        return DefUse(frozenset({"esp"}), frozenset(defs))
+
+    if mnemonic in _TWO_OP_ARITHMETIC and len(operands) == 2:
+        destination, source = operands
+        source_registers = _operand_registers(source)
+        if is_register(destination):
+            defs = _operand_registers(destination)
+            self_zeroing = (
+                mnemonic in _SELF_ZEROING
+                and destination.lower() == source.lower()
+            )
+            if self_zeroing:
+                return DefUse(_EMPTY, defs)
+            return DefUse(defs | source_registers, defs)
+        # Memory destination: the address registers and source are read.
+        return DefUse(_operand_registers(destination) | source_registers, _EMPTY)
+
+    if mnemonic in _ONE_OP_READ_WRITE and operands:
+        operand = operands[0]
+        if is_register(operand):
+            registers = _operand_registers(operand)
+            return DefUse(registers, registers)
+        return DefUse(_operand_registers(operand), _EMPTY)
+
+    if mnemonic in {"mul", "imul", "div", "idiv"}:
+        if mnemonic == "imul" and len(operands) >= 2:
+            defs = _operand_registers(operands[0]) if is_register(operands[0]) else _EMPTY
+            uses = set(defs)
+            for operand in operands[1:]:
+                uses.update(_operand_registers(operand))
+            return DefUse(frozenset(uses), frozenset(defs))
+        uses = {"eax"}
+        if mnemonic in {"div", "idiv"}:
+            uses.add("edx")
+        for operand in operands:
+            uses.update(_operand_registers(operand))
+        return DefUse(frozenset(uses), frozenset({"eax", "edx"}))
+
+    if mnemonic in {"cmp", "test"}:
+        uses = set()
+        for operand in operands:
+            uses.update(_operand_registers(operand))
+        return DefUse(frozenset(uses), _EMPTY)
+
+    if mnemonic in {"call", "int"}:
+        return DefUse(frozenset({"esp"}), _EMPTY)
+
+    if mnemonic in {"ret", "retn", "iret", "hlt"}:
+        return DefUse(_RETURN_USES, _EMPTY)
+
+    if mnemonic in {"loop", "loopne"}:
+        return DefUse(frozenset({"ecx"}), frozenset({"ecx"}))
+
+    if mnemonic in CONDITIONAL_JUMPS or mnemonic in UNCONDITIONAL_JUMPS:
+        if instruction.target is not None:  # direct jump to a label
+            return DefUse(_EMPTY, _EMPTY)
+        uses = set()
+        for operand in operands:  # register-indirect target
+            uses.update(_operand_registers(operand))
+        return DefUse(frozenset(uses), _EMPTY)
+
+    if mnemonic == "cdq":
+        return DefUse(frozenset({"eax"}), frozenset({"edx"}))
+
+    if mnemonic == "leave":
+        return DefUse(frozenset({"ebp"}), frozenset({"esp", "ebp"}))
+
+    # nop, data declarations, flag twiddles (std/cld/sti/cli), ...
+    return DefUse(_EMPTY, _EMPTY)
+
+
+# ----------------------------------------------------------------------
+# CFG-level helpers
+# ----------------------------------------------------------------------
+def _edge_maps(cfg: CFG) -> tuple[dict[int, set[int]], dict[int, set[int]]]:
+    successors: dict[int, set[int]] = {b.index: set() for b in cfg.blocks}
+    predecessors: dict[int, set[int]] = {b.index: set() for b in cfg.blocks}
+    for source, target, _ in cfg.edges:
+        successors[source].add(target)
+        predecessors[target].add(source)
+    return successors, predecessors
+
+
+def unreachable_blocks(cfg: CFG, entry: int = 0) -> frozenset[int]:
+    """Blocks with no path from ``entry`` along any edge kind."""
+    if not cfg.blocks:
+        return frozenset()
+    successors, _ = _edge_maps(cfg)
+    seen = {entry}
+    worklist = [entry]
+    while worklist:
+        node = worklist.pop()
+        for successor in successors.get(node, ()):
+            if successor not in seen:
+                seen.add(successor)
+                worklist.append(successor)
+    return frozenset(b.index for b in cfg.blocks) - seen
+
+
+# ----------------------------------------------------------------------
+# liveness (backward may-analysis)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Liveness:
+    """Per-block live-in/live-out register sets."""
+
+    live_in: tuple[frozenset[str], ...]
+    live_out: tuple[frozenset[str], ...]
+
+
+def _block_use_def(block_instructions: tuple[Instruction, ...]) -> DefUse:
+    """Upward-exposed uses and defs of one straight-line block."""
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for instruction in block_instructions:
+        instruction_uses, instruction_defs = def_use(instruction)
+        uses.update(instruction_uses - defs)
+        defs.update(instruction_defs)
+    return DefUse(frozenset(uses), frozenset(defs))
+
+
+def liveness(cfg: CFG) -> Liveness:
+    """Backward worklist liveness over all CFG edges.
+
+    Call edges participate, so a register a local callee reads is live
+    at every call site — the conservative direction for dead-store use.
+    """
+    n = len(cfg.blocks)
+    successors, predecessors = _edge_maps(cfg)
+    use_def = [_block_use_def(block.instructions) for block in cfg.blocks]
+    live_in: list[frozenset[str]] = [frozenset()] * n
+    live_out: list[frozenset[str]] = [frozenset()] * n
+
+    worklist = list(range(n))
+    while worklist:
+        node = worklist.pop()
+        out: set[str] = set()
+        for successor in successors[node]:
+            out.update(live_in[successor])
+        new_out = frozenset(out)
+        new_in = use_def[node].uses | (new_out - use_def[node].defs)
+        if new_out != live_out[node] or new_in != live_in[node]:
+            live_out[node] = new_out
+            live_in[node] = new_in
+            worklist.extend(predecessors[node])
+    return Liveness(tuple(live_in), tuple(live_out))
+
+
+# ----------------------------------------------------------------------
+# reaching definitions (forward may-analysis)
+# ----------------------------------------------------------------------
+class Definition(NamedTuple):
+    """One register definition site: ``(block, offset, register)``."""
+
+    block: int
+    offset: int
+    register: str
+
+
+@dataclass(frozen=True)
+class ReachingDefinitions:
+    """Per-block reaching-definition sets (may-reach, over all edges)."""
+
+    reach_in: tuple[frozenset[Definition], ...]
+    reach_out: tuple[frozenset[Definition], ...]
+
+    def definitions_of(self, block_index: int, register: str) -> frozenset[Definition]:
+        """Definitions of ``register`` that may reach the top of a block."""
+        return frozenset(
+            d for d in self.reach_in[block_index] if d.register == register
+        )
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefinitions:
+    """Forward worklist reaching-definitions over all CFG edges."""
+    n = len(cfg.blocks)
+    successors, predecessors = _edge_maps(cfg)
+
+    gen: list[dict[str, Definition]] = []
+    for block in cfg.blocks:
+        last_def: dict[str, Definition] = {}
+        for offset, instruction in enumerate(block.instructions):
+            for register in def_use(instruction).defs:
+                last_def[register] = Definition(block.index, offset, register)
+        gen.append(last_def)
+
+    reach_in: list[frozenset[Definition]] = [frozenset()] * n
+    reach_out: list[frozenset[Definition]] = [frozenset()] * n
+    worklist = list(range(n))
+    while worklist:
+        node = worklist.pop(0)
+        incoming: set[Definition] = set()
+        for predecessor in predecessors[node]:
+            incoming.update(reach_out[predecessor])
+        new_in = frozenset(incoming)
+        killed_registers = set(gen[node])
+        surviving = {d for d in new_in if d.register not in killed_registers}
+        new_out = frozenset(surviving | set(gen[node].values()))
+        if new_in != reach_in[node] or new_out != reach_out[node]:
+            reach_in[node] = new_in
+            reach_out[node] = new_out
+            worklist.extend(successors[node])
+    return ReachingDefinitions(tuple(reach_in), tuple(reach_out))
+
+
+# ----------------------------------------------------------------------
+# dead stores
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeadStore:
+    """A register write whose value is never read on any path."""
+
+    block_index: int
+    offset: int
+    register: str
+    instruction: Instruction
+
+    def __str__(self) -> str:
+        return (
+            f"block {self.block_index}[{self.offset}]: "
+            f"{self.instruction} (dead write to {self.register})"
+        )
+
+
+#: Mnemonics whose only effect is their single register destination —
+#: the ones a dead destination makes a true no-op.  Stack/implicit-pair
+#: writers (push/pop/xchg/mul/...) always have another effect.
+_PURE_STORES: frozenset[str] = (
+    _MOV_LIKE | _TWO_OP_ARITHMETIC | _ONE_OP_READ_WRITE
+)
+
+
+def dead_stores(cfg: CFG, live: Liveness | None = None) -> list[DeadStore]:
+    """Pure register stores whose destination is dead afterwards.
+
+    Walks each block backward from its live-out set, so intra-block
+    redefinitions (``xor eax, ecx`` followed by ``mov eax, ebx``) are
+    caught as well as cross-block ones.  ``esp`` writes are never
+    reported (stack adjustment is an effect in itself).
+    """
+    if live is None:
+        live = liveness(cfg)
+    findings: list[DeadStore] = []
+    for block in cfg.blocks:
+        current: set[str] = set(live.live_out[block.index])
+        for offset in range(len(block.instructions) - 1, -1, -1):
+            instruction = block.instructions[offset]
+            uses, defs = def_use(instruction)
+            if (
+                instruction.mnemonic in _PURE_STORES
+                and len(defs) == 1
+                and instruction.writes_first_operand_register
+            ):
+                (register,) = defs
+                if register not in current and register != "esp":
+                    findings.append(
+                        DeadStore(block.index, offset, register, instruction)
+                    )
+            current -= defs
+            current |= uses
+    findings.sort(key=lambda d: (d.block_index, d.offset))
+    return findings

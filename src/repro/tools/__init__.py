@@ -1,0 +1,5 @@
+"""Developer tooling: the one-shot repository health check."""
+
+from repro.tools.check import main
+
+__all__ = ["main"]

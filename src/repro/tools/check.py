@@ -1,0 +1,102 @@
+"""One-shot repository health check: lint, tests, corpus invariants.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m repro.tools.check
+
+or, after an editable install, simply ``repro-check``.  Three gates run
+in order and the exit code is non-zero if any of them fails:
+
+1. ``ruff check src tests`` — style and import-order lint (skipped
+   with a notice when ruff is not installed; it is an optional dev
+   dependency and the other gates do not need it).
+2. The tier-1 pytest suite.
+3. ``repro.staticcheck.verify_corpus`` in strict mode over a freshly
+   generated corpus — the same CFG/ACFG invariant gate the evaluation
+   pipeline runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+_SKIPPED = "skipped"
+
+
+def _repo_root() -> Path:
+    """The directory holding pyproject.toml, found from this file."""
+    here = Path(__file__).resolve()
+    for candidate in here.parents:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path.cwd()
+
+
+def _run_ruff(root: Path) -> bool | str:
+    if importlib.util.find_spec("ruff") is None:
+        print("[check] ruff: not installed, skipping lint gate")
+        return _SKIPPED
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests"],
+        cwd=root,
+    )
+    return result.returncode == 0
+
+
+def _run_pytest(root: Path) -> bool:
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=root,
+        env={**os.environ, "PYTHONPATH": str(root / "src")},
+    )
+    return result.returncode == 0
+
+
+def _run_corpus_verification(samples: int, seed: int) -> bool:
+    from repro.malgen import generate_corpus
+    from repro.staticcheck import CorpusVerificationError, verify_corpus
+
+    corpus = generate_corpus(samples, seed=seed)
+    try:
+        report = verify_corpus(corpus, mode="strict")
+    except CorpusVerificationError as error:
+        print(error.report.summary())
+        return False
+    print(report.summary())
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    del argv  # no options yet; kept for entry-point compatibility
+    root = _repo_root()
+    results: dict[str, bool | str] = {}
+
+    print(f"[check] repository root: {root}")
+    results["ruff"] = _run_ruff(root)
+    results["pytest"] = _run_pytest(root)
+    results["corpus verification"] = _run_corpus_verification(
+        samples=3, seed=0
+    )
+
+    print("\n[check] summary")
+    failed = False
+    for gate, outcome in results.items():
+        if outcome == _SKIPPED:
+            status = "SKIP"
+        elif outcome:
+            status = "PASS"
+        else:
+            status = "FAIL"
+            failed = True
+        print(f"  {gate:<20} {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

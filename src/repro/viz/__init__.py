@@ -1,6 +1,6 @@
 """Rendering explanations for human analysts (DOT export, text views)."""
 
-from repro.viz.dot import explanation_to_dot, cfg_to_dot
+from repro.viz.dot import cfg_to_dot, explanation_to_dot
 from repro.viz.text import render_block_listing, render_importance_bars
 
 __all__ = [

@@ -110,6 +110,73 @@ class TestSemanticNop:
         assert not detect_semantic_nop_obfuscation(cfg.blocks[0])
 
 
+class TestXorLivenessSuppression:
+    """Regression: dead self-zeroing / junk XORs are not obfuscation.
+
+    The syntactic detector used to count any non-trivial XOR; the
+    liveness pass from ``repro.staticcheck`` now suppresses XORs whose
+    result is overwritten before any read.
+    """
+
+    def dead_xor_cfg(self):
+        builder = ProgramBuilder("junk")
+        builder.emit("xor", "eax", "5h")  # result immediately overwritten
+        builder.emit("mov", "eax", "ebx")
+        builder.emit("mov", "[ecx]", "eax")
+        builder.emit("ret")
+        return build_cfg(builder.build())
+
+    def test_dead_xor_suppressed_by_micro_analysis(self):
+        cfg = self.dead_xor_cfg()
+        patterns = {f.pattern for f in micro_analysis(cfg)}
+        assert "xor_obfuscation" not in patterns
+
+    def test_syntactic_mode_still_reports_it(self):
+        cfg = self.dead_xor_cfg()
+        patterns = {f.pattern for f in micro_analysis(cfg, use_liveness=False)}
+        assert "xor_obfuscation" in patterns
+        # The bare detector (no liveness info) is unchanged too.
+        assert detect_xor_obfuscation(cfg.blocks[0])
+
+    def test_live_xor_still_detected(self):
+        builder = ProgramBuilder("mangler")
+        builder.emit("xor", "eax", "5h")
+        builder.emit("mov", "[ecx]", "eax")  # result is consumed
+        builder.emit("ret")
+        cfg = build_cfg(builder.build())
+        patterns = {f.pattern for f in micro_analysis(cfg)}
+        assert "xor_obfuscation" in patterns
+
+    def test_dead_self_zeroing_not_flagged_either_way(self):
+        builder = ProgramBuilder("zero")
+        builder.emit("xor", "eax", "eax")  # overwritten before any read
+        builder.emit("mov", "eax", "ebx")
+        builder.emit("mov", "[ecx]", "eax")
+        builder.emit("ret")
+        cfg = build_cfg(builder.build())
+        for use_liveness in (True, False):
+            patterns = {
+                f.pattern
+                for f in micro_analysis(cfg, use_liveness=use_liveness)
+            }
+            assert "xor_obfuscation" not in patterns
+
+    def test_decode_loop_xor_survives_liveness(self):
+        """A real XOR-decode loop stays detected: its result is stored."""
+        builder = ProgramBuilder("decode")
+        builder.emit("mov", "ecx", "16")
+        builder.label("top")
+        builder.emit("mov", "edx", "[esi]")
+        builder.emit("xor", "edx", "87BDC1D7h")
+        builder.emit("mov", "[esi]", "edx")
+        builder.emit("dec", "ecx")
+        builder.emit("jnz", "top")
+        builder.emit("ret")
+        cfg = build_cfg(builder.build())
+        patterns = {f.pattern for f in micro_analysis(cfg)}
+        assert "xor_obfuscation" in patterns
+
+
 class TestSelfLoop:
     def test_self_loop_detected(self):
         builder = ProgramBuilder("spin")

@@ -1,0 +1,141 @@
+"""Tests for the static-agreement metric (repro.eval.agreement)."""
+
+import numpy as np
+
+from repro.acfg import from_sample
+from repro.disasm import ProgramBuilder, build_cfg
+from repro.eval.agreement import (
+    agreement_rows,
+    format_agreement,
+    static_agreement,
+    suspicious_blocks,
+)
+from repro.explain.base import ladder_from_order
+from repro.explain.explanation import Explanation
+from repro.malgen.corpus import LabeledSample, block_motif_tags
+
+
+def five_block_sample():
+    """Five blocks; only block 2 contains a statically suspicious XOR."""
+    builder = ProgramBuilder("agree")
+    builder.emit("mov", "eax", "1")
+    builder.emit("jmp", "b1")
+    builder.label("b1")
+    builder.emit("mov", "ebx", "2")
+    builder.emit("jmp", "b2")
+    builder.label("b2")
+    builder.emit("xor", "[ecx]", "al")  # memory XOR: always suspicious
+    builder.emit("jmp", "b3")
+    builder.label("b3")
+    builder.emit("inc", "eax")
+    builder.emit("jmp", "b4")
+    builder.label("b4")
+    builder.emit("ret")
+    program = builder.build()
+    cfg = build_cfg(program)
+    assert cfg.node_count == 5
+    return LabeledSample(
+        program=program,
+        cfg=cfg,
+        family="Benign",
+        label=0,
+        motif_spans=[],
+        block_tags=block_motif_tags(cfg, []),
+    )
+
+
+def explanation_with_order(sample, order, step_size=20):
+    graph = from_sample(sample)
+    node_order = np.asarray(order, dtype=int)
+    return Explanation(
+        graph=graph,
+        explainer_name="handmade",
+        predicted_class=0,
+        node_order=node_order,
+        levels=ladder_from_order(graph, node_order, step_size),
+    )
+
+
+class TestSuspiciousBlocks:
+    def test_only_the_xor_block_is_flagged(self):
+        sample = five_block_sample()
+        assert suspicious_blocks(sample) == frozenset({2})
+
+    def test_clean_program_has_no_signal(self):
+        builder = ProgramBuilder("clean")
+        builder.emit("mov", "eax", "1")
+        builder.emit("ret")
+        program = builder.build()
+        cfg = build_cfg(program)
+        sample = LabeledSample(
+            program=program,
+            cfg=cfg,
+            family="Benign",
+            label=0,
+            motif_spans=[],
+            block_tags=block_motif_tags(cfg, []),
+        )
+        assert suspicious_blocks(sample) == frozenset()
+
+
+class TestStaticAgreement:
+    def test_top_ranked_suspicious_block_scores_full_coverage(self):
+        sample = five_block_sample()
+        explanation = explanation_with_order(sample, [2, 0, 1, 3, 4])
+        scored, coverage, baseline = static_agreement(
+            [(sample, explanation)], fraction=0.2
+        )
+        assert scored == 1
+        assert coverage == 1.0
+        assert 0.0 < baseline <= 0.3  # one of five nodes kept
+
+    def test_bottom_ranked_suspicious_block_scores_zero(self):
+        sample = five_block_sample()
+        explanation = explanation_with_order(sample, [0, 1, 3, 4, 2])
+        _, coverage, _ = static_agreement([(sample, explanation)], fraction=0.2)
+        assert coverage == 0.0
+
+    def test_graphs_without_signal_are_skipped(self):
+        scored, coverage, baseline = static_agreement([], fraction=0.2)
+        assert (scored, coverage, baseline) == (0, 0.0, 0.0)
+
+
+class TestAgreementRows:
+    def make_sweeps(self, sample, order_by_explainer):
+        from repro.eval.sweep import FamilySweep
+
+        sweeps = {"Benign": {}}
+        for name, order in order_by_explainer.items():
+            explanation = explanation_with_order(sample, order)
+            sweeps["Benign"][name] = FamilySweep(
+                family="Benign",
+                explainer_name=name,
+                fractions=np.array([0.2, 1.0]),
+                accuracies=np.array([1.0, 1.0]),
+                explanations=[explanation],
+            )
+        return sweeps
+
+    def test_rows_rank_explainers_by_agreement(self):
+        sample = five_block_sample()
+        sweeps = self.make_sweeps(
+            sample, {"good": [2, 0, 1, 3, 4], "bad": [0, 1, 3, 4, 2]}
+        )
+        rows = agreement_rows(
+            sweeps, {sample.program.name: sample}, fraction=0.2
+        )
+        by_name = {row.explainer_name: row for row in rows}
+        assert by_name["good"].coverage == 1.0
+        assert by_name["bad"].coverage == 0.0
+        assert by_name["good"].graphs_scored == 1
+
+    def test_format_agreement_renders_every_row(self):
+        sample = five_block_sample()
+        sweeps = self.make_sweeps(sample, {"good": [2, 0, 1, 3, 4]})
+        rows = agreement_rows(sweeps, {sample.program.name: sample})
+        text = format_agreement(rows)
+        assert "good" in text
+        assert "Coverage@20%" in text
+
+    def test_format_agreement_empty(self):
+        assert "no graphs" in format_agreement([])

@@ -1,0 +1,457 @@
+"""Tests for the static-analysis layer (repro.staticcheck).
+
+Covers the dominator/dataflow analyses, the CFG/ACFG invariant
+verifier (clean corpora verify clean; each seeded defect triggers
+exactly its finding kind), and the corpus-level strict/warn gate.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.acfg import ACFGDataset, from_sample
+from repro.disasm import ProgramBuilder, build_cfg
+from repro.disasm.cfg import CFG, BasicBlock, EdgeKind
+from repro.malgen import generate_corpus
+from repro.malgen.corpus import LabeledSample, block_motif_tags
+from repro.staticcheck import (
+    CorpusVerificationError,
+    FindingKind,
+    Severity,
+    dead_stores,
+    def_use,
+    dominator_tree,
+    liveness,
+    natural_loops,
+    reaching_definitions,
+    unreachable_blocks,
+    verify_acfg,
+    verify_cfg,
+    verify_corpus,
+    verify_sample,
+)
+
+
+def build(emit, name="probe"):
+    builder = ProgramBuilder(name)
+    emit(builder)
+    program = builder.build()
+    return program, build_cfg(program)
+
+
+def diamond():
+    """cmp/je diamond: b0 -> {b1, b2} -> b3."""
+
+    def emit(b):
+        b.emit("cmp", "eax", "0")
+        b.emit("je", "l_else")
+        b.emit("inc", "eax")
+        b.emit("jmp", "l_end")
+        b.label("l_else")
+        b.emit("dec", "eax")
+        b.label("l_end")
+        b.emit("ret")
+
+    return build(emit)
+
+
+def sample_of(program, cfg, family="Benign", label=0):
+    return LabeledSample(
+        program=program,
+        cfg=cfg,
+        family=family,
+        label=label,
+        motif_spans=[],
+        block_tags=block_motif_tags(cfg, []),
+    )
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        _, cfg = diamond()
+        tree = dominator_tree(cfg)
+        assert tree.idom[0] == 0
+        assert tree.idom[1] == 0
+        assert tree.idom[2] == 0
+        assert tree.idom[3] == 0  # join point is dominated by the branch
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        _, cfg = diamond()
+        tree = dominator_tree(cfg)
+        assert tree.dominates(0, 3)
+        assert tree.dominates(2, 2)
+        assert not tree.dominates(1, 3)  # the else path bypasses b1
+
+    def test_dominators_chain_ends_at_entry(self):
+        _, cfg = diamond()
+        assert dominator_tree(cfg).dominators(3) == [3, 0]
+
+    def test_unreachable_blocks_excluded(self):
+        def emit(b):
+            b.emit("jmp", "end")
+            b.emit("nop")  # orphan: jumped over, no label
+            b.label("end")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        tree = dominator_tree(cfg)
+        assert 1 not in tree.reachable
+        with pytest.raises(KeyError):
+            tree.dominators(1)
+
+    def test_natural_loop_single_block(self):
+        def emit(b):
+            b.emit("mov", "ecx", "5")
+            b.label("top")
+            b.emit("dec", "ecx")
+            b.emit("jnz", "top")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].header == 1
+        assert loops[0].body == frozenset({1})
+
+    def test_natural_loop_multi_block_body(self):
+        def emit(b):
+            b.label("top")
+            b.emit("cmp", "eax", "0")
+            b.emit("je", "skip")
+            b.emit("dec", "eax")
+            b.label("skip")
+            b.emit("cmp", "ecx", "0")
+            b.emit("jnz", "top")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == 0
+        assert len(loop.body) >= 3  # header, dec block, latch
+
+    def test_acyclic_graph_has_no_loops(self):
+        _, cfg = diamond()
+        assert natural_loops(cfg) == []
+
+
+class TestDefUse:
+    @pytest.mark.parametrize(
+        "mnemonic,operands,uses,defs",
+        [
+            ("mov", ("eax", "ebx"), {"ebx"}, {"eax"}),
+            ("mov", ("al", "bl"), {"ebx"}, {"eax"}),  # sub-register aliasing
+            ("mov", ("[ebp+8]", "eax"), {"ebp", "eax"}, set()),
+            ("xor", ("eax", "eax"), set(), {"eax"}),  # self-zeroing idiom
+            ("sub", ("ecx", "ecx"), set(), {"ecx"}),
+            ("xor", ("eax", "ecx"), {"eax", "ecx"}, {"eax"}),
+            ("add", ("eax", "42"), {"eax"}, {"eax"}),
+            ("inc", ("esi",), {"esi"}, {"esi"}),
+            ("pop", ("ecx",), {"esp"}, {"ecx", "esp"}),
+            ("push", ("edi",), {"esp", "edi"}, {"esp"}),
+            ("cmp", ("eax", "ebx"), {"eax", "ebx"}, set()),
+            ("call", ("ds:CreateThread",), {"esp"}, set()),
+            ("jmp", ("loc_1",), set(), set()),
+            ("cdq", (), {"eax"}, {"edx"}),
+            ("mul", ("ecx",), {"eax", "ecx"}, {"eax", "edx"}),
+            ("nop", (), set(), set()),
+        ],
+    )
+    def test_def_use_table(self, mnemonic, operands, uses, defs):
+        from repro.disasm import Instruction
+
+        result = def_use(Instruction(mnemonic, operands))
+        assert set(result.uses) == uses
+        assert set(result.defs) == defs
+
+    def test_ret_keeps_return_value_live(self):
+        from repro.disasm import Instruction
+
+        assert "eax" in def_use(Instruction("ret")).uses
+
+
+class TestLiveness:
+    def test_straight_line_liveness(self):
+        def emit(b):
+            b.emit("mov", "eax", "ebx")
+            b.emit("mov", "[ecx]", "eax")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        live = liveness(cfg)
+        assert "ebx" in live.live_in[0]
+        assert "ecx" in live.live_in[0]
+
+    def test_branch_merges_liveness(self):
+        _, cfg = diamond()
+        live = liveness(cfg)
+        # eax flows through both arms into the ret.
+        assert "eax" in live.live_in[0]
+        assert "eax" in live.live_out[1]
+        assert "eax" in live.live_out[2]
+
+    def test_dead_store_intra_block(self):
+        def emit(b):
+            b.emit("mov", "eax", "5")
+            b.emit("mov", "eax", "ebx")  # kills the previous store
+            b.emit("mov", "[ecx]", "eax")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        stores = dead_stores(cfg)
+        assert [(s.block_index, s.offset, s.register) for s in stores] == [(0, 0, "eax")]
+
+    def test_dead_store_across_blocks(self):
+        def emit(b):
+            b.emit("xor", "eax", "ecx")
+            b.emit("jmp", "next")
+            b.label("next")
+            b.emit("mov", "eax", "ebx")
+            b.emit("mov", "[edx]", "eax")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        assert [(s.block_index, s.offset) for s in dead_stores(cfg)] == [(0, 0)]
+
+    def test_zeroing_return_value_is_live(self):
+        def emit(b):
+            b.emit("xor", "eax", "eax")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        assert dead_stores(cfg) == []
+
+    def test_callee_register_read_keeps_caller_store_live(self):
+        def emit(b):
+            b.emit("mov", "eax", "7")
+            b.emit("call", "helper")
+            b.emit("ret")
+            b.label("helper")
+            b.emit("push", "eax")  # helper reads eax set by the caller
+            b.emit("pop", "ecx")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        assert all(s.register != "eax" for s in dead_stores(cfg))
+
+
+class TestReachingDefinitions:
+    def test_definitions_merge_at_join(self):
+        _, cfg = diamond()
+        reach = reaching_definitions(cfg)
+        # Both arms write eax (inc / dec); both defs reach the join block.
+        join_defs = reach.definitions_of(3, "eax")
+        assert {d.block for d in join_defs} == {1, 2}
+
+    def test_redefinition_kills_upstream_def(self):
+        def emit(b):
+            b.emit("mov", "eax", "1")
+            b.emit("jmp", "next")
+            b.label("next")
+            b.emit("mov", "eax", "2")
+            b.emit("jmp", "last")
+            b.label("last")
+            b.emit("mov", "[ecx]", "eax")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        reach = reaching_definitions(cfg)
+        last_defs = reach.definitions_of(2, "eax")
+        assert {d.block for d in last_defs} == {1}
+
+
+class TestVerifierCleanGraphs:
+    def test_diamond_verifies_clean(self):
+        program, cfg = diamond()
+        errors = [
+            f for f in verify_cfg(cfg, program) if f.severity >= Severity.ERROR
+        ]
+        assert errors == []
+
+    def test_every_generated_program_verifies_clean_strict(self):
+        # Property-style sweep: several seeds, every family, strict mode.
+        for seed in (0, 123):
+            corpus = generate_corpus(2, seed=seed)
+            report = verify_corpus(corpus, mode="strict")
+            assert report.ok
+
+    def test_orphan_block_is_flagged_unreachable(self):
+        def emit(b):
+            b.emit("jmp", "end")
+            b.emit("nop")  # orphan block: no label, jumped over
+            b.label("end")
+            b.emit("ret")
+
+        program, cfg = build(emit)
+        findings = verify_cfg(cfg, program)
+        kinds = {f.kind for f in findings}
+        assert FindingKind.UNREACHABLE_BLOCK in kinds
+        [finding] = [f for f in findings if f.kind is FindingKind.UNREACHABLE_BLOCK]
+        assert finding.block_index == 1
+        assert finding.severity == Severity.WARNING  # legit in malware
+
+
+class TestVerifierSeededDefects:
+    """Each hand-broken CFG/ACFG triggers exactly its finding kind."""
+
+    def error_kinds(self, findings):
+        return {f.kind for f in findings if f.severity >= Severity.ERROR}
+
+    def test_partition_gap_detected(self):
+        program, cfg = diamond()
+        # Shift one block's start: blocks no longer tile the program.
+        broken = CFG(
+            [
+                b if b.index != 1 else replace(b, start=b.start + 1)
+                for b in cfg.blocks
+            ],
+            cfg.edges,
+            cfg.name,
+        )
+        assert FindingKind.BLOCK_PARTITION in self.error_kinds(
+            verify_cfg(broken, program, dataflow=False)
+        )
+
+    def test_leader_mismatch_detected(self):
+        program, cfg = diamond()
+        # Merge everything into one giant block: labels/branch targets
+        # no longer start blocks.
+        merged = CFG(
+            [BasicBlock(0, 0, tuple(program.instructions))], [], program.name
+        )
+        assert FindingKind.LEADER_MISMATCH in self.error_kinds(
+            verify_cfg(merged, program, dataflow=False)
+        )
+
+    def test_terminator_edge_mismatch_detected(self):
+        program, cfg = diamond()
+        # A ret block must not have out-edges.
+        broken = CFG(cfg.blocks, cfg.edges + [(3, 0, EdgeKind.JUMP)], cfg.name)
+        assert FindingKind.TERMINATOR_EDGE in self.error_kinds(
+            verify_cfg(broken, program, dataflow=False)
+        )
+
+    def test_dangling_edge_detected(self):
+        program, cfg = diamond()
+        broken = CFG(cfg.blocks, cfg.edges + [(0, 99, EdgeKind.JUMP)], cfg.name)
+        assert FindingKind.EDGE_ENDPOINT in self.error_kinds(
+            verify_cfg(broken, program, dataflow=False)
+        )
+
+    def test_fallthrough_to_non_adjacent_block_detected(self):
+        program, cfg = diamond()
+        edges = [
+            (s, t, k)
+            if not (s == 0 and k is EdgeKind.FALLTHROUGH)
+            else (0, 3, EdgeKind.FALLTHROUGH)
+            for s, t, k in cfg.edges
+        ]
+        assert FindingKind.FALLTHROUGH_TARGET in self.error_kinds(
+            verify_cfg(CFG(cfg.blocks, edges, cfg.name), program, dataflow=False)
+        )
+
+    def test_wrong_edge_weight_detected(self):
+        program, cfg = diamond()
+        acfg = from_sample(sample_of(program, cfg))
+        jump_edges = np.argwhere(acfg.adjacency == 1.0)
+        i, j = jump_edges[0]
+        acfg.adjacency[i, j] = 2.0  # a jump pretending to be a call
+        findings = verify_acfg(acfg, cfg, program, dataflow=False)
+        assert FindingKind.EDGE_WEIGHT in self.error_kinds(findings)
+
+    def test_out_of_range_weight_detected(self):
+        program, cfg = diamond()
+        acfg = from_sample(sample_of(program, cfg))
+        acfg.adjacency[0, 1] = 3.0
+        assert FindingKind.EDGE_WEIGHT in self.error_kinds(
+            verify_acfg(acfg, cfg, program, dataflow=False)
+        )
+
+    def test_phantom_edge_detected(self):
+        program, cfg = diamond()
+        acfg = from_sample(sample_of(program, cfg))
+        assert acfg.adjacency[3, 0] == 0.0
+        acfg.adjacency[3, 0] = 1.0
+        assert FindingKind.ADJACENCY_MISMATCH in self.error_kinds(
+            verify_acfg(acfg, cfg, program, dataflow=False)
+        )
+
+    def test_stale_feature_vector_detected(self):
+        program, cfg = diamond()
+        acfg = from_sample(sample_of(program, cfg))
+        acfg.features[2, 0] += 5.0  # numeric_constants no longer matches
+        findings = verify_acfg(acfg, cfg, program, dataflow=False)
+        stale = [f for f in findings if f.kind is FindingKind.FEATURE_MISMATCH]
+        assert len(stale) == 1
+        assert stale[0].block_index == 2
+        assert "numeric_constants" in stale[0].message
+
+    def test_nonzero_padding_detected(self):
+        program, cfg = diamond()
+        acfg = from_sample(sample_of(program, cfg), pad_to=cfg.node_count + 2)
+        acfg.features[cfg.node_count, 0] = 1.0
+        assert FindingKind.PADDING_NONZERO in self.error_kinds(
+            verify_acfg(acfg, cfg, program, dataflow=False)
+        )
+
+    def test_node_count_mismatch_detected(self):
+        program, cfg = diamond()
+        acfg = from_sample(sample_of(program, cfg))
+        acfg.n_real = cfg.node_count - 1
+        assert FindingKind.NODE_COUNT_MISMATCH in self.error_kinds(
+            verify_acfg(acfg, cfg, program, dataflow=False)
+        )
+
+
+class TestCorpusGate:
+    def broken_corpus(self):
+        corpus = generate_corpus(1, seed=3)
+        victim = corpus[0]
+        victim.cfg.edges.append((victim.cfg.node_count - 1, 0, EdgeKind.JUMP))
+        return corpus
+
+    def test_strict_mode_raises_with_report(self):
+        with pytest.raises(CorpusVerificationError) as excinfo:
+            verify_corpus(self.broken_corpus(), mode="strict")
+        report = excinfo.value.report
+        assert not report.ok
+        assert report.errors
+
+    def test_warn_mode_warns_and_returns_report(self):
+        with pytest.warns(UserWarning):
+            report = verify_corpus(self.broken_corpus(), mode="warn")
+        assert not report.ok
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            verify_corpus([], mode="loose")
+
+    def test_report_summary_mentions_counts(self):
+        corpus = generate_corpus(1, seed=4)
+        report = verify_corpus(corpus, mode="strict")
+        assert report.ok
+        assert "0 errors" in report.summary()
+
+    def test_verify_sample_clean_on_generated(self):
+        sample = generate_corpus(1, seed=9)[0]
+        errors = [
+            f for f in verify_sample(sample) if f.severity >= Severity.ERROR
+        ]
+        assert errors == []
+
+    def test_dataset_from_corpus_strict_gate(self):
+        corpus = generate_corpus(2, seed=5)
+        dataset = ACFGDataset.from_corpus(corpus, verify="strict")
+        assert len(dataset) == len(corpus)
+
+    def test_dataset_from_corpus_strict_gate_raises_on_defect(self):
+        with pytest.raises(CorpusVerificationError):
+            ACFGDataset.from_corpus(self.broken_corpus(), verify="strict")
+
+    def test_pipeline_config_rejects_bad_verify_mode(self):
+        from repro.eval import ExperimentConfig
+
+        with pytest.raises(ValueError):
+            ExperimentConfig(verify_mode="loose")
