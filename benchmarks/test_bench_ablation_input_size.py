@@ -6,6 +6,10 @@ construction.  This bench measures the actual constructed input sizes
 and the per-graph scoring time of both models on the same graphs.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.core.training import precompute_embeddings

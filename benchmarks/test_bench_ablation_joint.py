@@ -6,6 +6,10 @@ the surrogate classifier is what makes the scores meaningful: training
 markedly worse explanation AUC than the joint procedure of Algorithm 1.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.core import CFGExplainer, CFGExplainerModel, train_cfgexplainer

@@ -10,6 +10,10 @@ Reported per variant: the spread of the learned scores (the bare loss
 saturates them) and the explanation AUC on held-out graphs.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.core import CFGExplainer, CFGExplainerModel, train_cfgexplainer

@@ -6,6 +6,10 @@ This bench quantifies both sides: explanation wall-clock and AUC for
 step sizes 5, 10, 20 and 50.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import time
 
 from repro.explain import accuracy_auc, sweep_accuracy_curve

@@ -1,0 +1,137 @@
+"""Throughput of the batched block-diagonal engine vs the per-graph loop.
+
+Times identical training/inference workloads under ``mode="batched"``
+(one CSR forward/backward per mini-batch) and ``mode="per_graph"`` (the
+seed's dense loop), asserts the paper-pipeline numbers agree, and writes
+``BENCH_batching.json`` with graphs/sec for each path.
+
+Unlike the experiment benches this module builds its own small corpus —
+it does not depend on the session pipeline fixture, so it stays fast
+enough for the tier-1-adjacent smoke set.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
+from repro.gnn import GCNClassifier, evaluate_accuracy, train_gnn
+from repro.malgen import generate_corpus
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
+
+SAMPLES_PER_FAMILY = 6
+SIZE_MULTIPLIER = 4  # ~700-node graphs: the dense path's O(N²) regime
+EPOCHS = 12
+BATCH_SIZE = 16
+
+
+@pytest.fixture(scope="module")
+def splits():
+    corpus = generate_corpus(
+        SAMPLES_PER_FAMILY, seed=7, size_multiplier=SIZE_MULTIPLIER
+    )
+    dataset = ACFGDataset.from_corpus(corpus)
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=0)
+    scaler = FeatureScaler().fit(list(train))
+    return train.scaled(scaler), test.scaled(scaler)
+
+
+def _fresh_model() -> GCNClassifier:
+    return GCNClassifier(hidden=(32, 24, 16), rng=np.random.default_rng(0))
+
+
+def _time_training(train_set, mode: str) -> tuple[float, list[float]]:
+    model = _fresh_model()
+    start = time.perf_counter()
+    history = train_gnn(
+        model,
+        train_set,
+        epochs=EPOCHS,
+        batch_size=BATCH_SIZE,
+        lr=0.005,
+        seed=0,
+        mode=mode,
+    )
+    return time.perf_counter() - start, history.losses
+
+
+def _time_inference(model, test_set, batched: bool) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    if batched:
+        predictions = model.predict_batch(list(test_set), batch_size=64)
+    else:
+        predictions = np.array([model.predict(g) for g in test_set], dtype=int)
+    return time.perf_counter() - start, predictions
+
+
+def test_bench_batched_vs_per_graph(splits):
+    train_set, test_set = splits
+
+    per_graph_s, per_graph_losses = _time_training(train_set, "per_graph")
+    batched_s, batched_losses = _time_training(train_set, "batched")
+
+    # Same seeds, same math: the two engines must trace the same descent.
+    np.testing.assert_allclose(batched_losses, per_graph_losses, atol=1e-8)
+
+    model = _fresh_model()
+    train_gnn(model, train_set, epochs=EPOCHS, batch_size=BATCH_SIZE, seed=0)
+    infer_loop_s, loop_preds = _time_inference(model, test_set, batched=False)
+    infer_batch_s, batch_preds = _time_inference(model, test_set, batched=True)
+    np.testing.assert_array_equal(batch_preds, loop_preds)
+
+    graphs_trained = len(train_set) * EPOCHS
+    report = {
+        "corpus": {
+            "size_multiplier": SIZE_MULTIPLIER,
+            "nodes_per_graph": int(train_set[0].n),
+            "train_graphs": len(train_set),
+            "test_graphs": len(test_set),
+            "epochs": EPOCHS,
+            "batch_size": BATCH_SIZE,
+        },
+        "training": {
+            "per_graph": {
+                "seconds": round(per_graph_s, 4),
+                "graphs_per_sec": round(graphs_trained / per_graph_s, 2),
+            },
+            "batched": {
+                "seconds": round(batched_s, 4),
+                "graphs_per_sec": round(graphs_trained / batched_s, 2),
+            },
+            "speedup": round(per_graph_s / batched_s, 2),
+            "max_abs_loss_delta": float(
+                np.max(np.abs(np.array(batched_losses) - np.array(per_graph_losses)))
+            ),
+        },
+        "inference": {
+            "per_graph": {
+                "seconds": round(infer_loop_s, 4),
+                "graphs_per_sec": round(len(test_set) / infer_loop_s, 2),
+            },
+            "batched": {
+                "seconds": round(infer_batch_s, 4),
+                "graphs_per_sec": round(len(test_set) / infer_batch_s, 2),
+            },
+            "speedup": round(infer_loop_s / infer_batch_s, 2),
+        },
+        "accuracy": round(evaluate_accuracy(model, test_set), 4),
+    }
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"\ntraining   per_graph {report['training']['per_graph']['graphs_per_sec']:>8} g/s"
+        f"  batched {report['training']['batched']['graphs_per_sec']:>8} g/s"
+        f"  ({report['training']['speedup']}x)"
+    )
+    print(
+        f"inference  per_graph {report['inference']['per_graph']['graphs_per_sec']:>8} g/s"
+        f"  batched {report['inference']['batched']['graphs_per_sec']:>8} g/s"
+        f"  ({report['inference']['speedup']}x)"
+    )
+
+    # Acceptance criterion: the batched engine trains >= 3x faster.
+    assert report["training"]["speedup"] >= 3.0, report["training"]

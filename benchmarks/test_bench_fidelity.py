@@ -10,6 +10,10 @@ suffice to reproduce predictions) among the explainers, and a positive
 fidelity+ (removing its chosen nodes hurts).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.explain import fidelity_minus_acc, fidelity_plus_acc
 
 

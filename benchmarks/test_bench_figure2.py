@@ -9,6 +9,10 @@ baselines' at small subgraph sizes for most families, and every curve
 reaches 1.0 at 100%.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.eval.sweep import sweep_family
 from repro.eval.tables import format_figure2
 

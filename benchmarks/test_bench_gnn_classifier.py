@@ -5,6 +5,10 @@ explaining it.  This bench reports the scaled pipeline's held-out
 accuracy and benchmarks a single classification forward pass.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_bench_gnn_forward(benchmark, artifacts):
     graph = artifacts.test_set.graphs[0]

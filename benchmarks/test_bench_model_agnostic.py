@@ -7,6 +7,10 @@ a DGCNN-style classifier (the MAGIC/DGCNN family the paper's target
 model belongs to) — with no code changes.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.core import CFGExplainer, CFGExplainerModel, train_cfgexplainer

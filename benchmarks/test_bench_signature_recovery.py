@@ -7,6 +7,10 @@ code.  Reported: mean precision/recall per explainer, plus the random
 floor.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.explain.groundtruth import mean_signature_recovery
 
 

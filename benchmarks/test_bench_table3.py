@@ -5,6 +5,10 @@ beats GNNExplainer, SubgraphX and PGExplainer on all three summary
 columns, by a large factor at 10% and 20%.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.eval.tables import build_table3, format_table3

@@ -11,6 +11,8 @@ slower; SubgraphX is the slowest of all.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.eval import measure_timings
 from repro.eval.tables import format_table4
 

@@ -10,6 +10,10 @@ semantic NOPs in Bagle and Vundo, XOR obfuscation in Bifrose/Hupigon/
 Vundo/Zbot, wsprintfA manipulation in Zlob).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.analysis import build_family_reports, micro_analysis
 from repro.analysis.report import format_table_v
 

@@ -25,8 +25,8 @@ from repro.acfg.dataset import ACFGDataset
 from repro.acfg.graph import ACFG
 from repro.baselines.gnnexplainer import edge_mass_node_scores
 from repro.explain.base import RankingExplainer
+from repro.gnn.cache import EmbeddingCache
 from repro.gnn.model import GCNClassifier
-from repro.gnn.normalize import normalized_adjacency
 from repro.nn import Adam, Dense, Module, Tensor, nll_loss_from_probs, no_grad
 
 __all__ = ["PGExplainerBaseline", "MaskPredictor"]
@@ -86,6 +86,7 @@ class PGExplainerBaseline(RankingExplainer):
         entropy_weight: float = 0.1,
         temperature: tuple[float, float] = (5.0, 1.0),
         seed: int = 0,
+        embedding_cache: EmbeddingCache | None = None,
     ):
         super().__init__(model)
         self.predictor = MaskPredictor(
@@ -97,6 +98,9 @@ class PGExplainerBaseline(RankingExplainer):
         self.entropy_weight = entropy_weight
         self.temperature = temperature
         self.seed = seed
+        #: Shared frozen-GNN forward cache: when set, Z and the target
+        #: class come from it instead of per-graph forward passes.
+        self.embedding_cache = embedding_cache
         self._trained = False
 
     # ------------------------------------------------------------------
@@ -190,13 +194,18 @@ class PGExplainerBaseline(RankingExplainer):
     def _cache_graph(self, graph: ACFG) -> "_GraphCache":
         active = np.zeros(graph.n, dtype=bool)
         active[: graph.n_real] = True
-        a_hat = normalized_adjacency(graph.adjacency, active)
+        a_hat = self.model.a_hat_cache.get(graph.adjacency, active)
         # Off-diagonal support only: self-loops stay unmasked, as in the
         # original (the explanation concerns edges between blocks).
         support = (a_hat > 0) & ~np.eye(graph.n, dtype=bool)
         edges = np.argwhere(support)
-        with no_grad():
-            z = self.model.embed(graph.adjacency, graph.features, active).numpy()
+        if self.embedding_cache is not None:
+            cached = self.embedding_cache.forward(graph)
+            z, target = cached.z, cached.predicted_class
+        else:
+            with no_grad():
+                z = self.model.embed(graph.adjacency, graph.features, active).numpy()
+            target = self.model.predict(graph)
         edge_embeddings = (
             np.concatenate([z[edges[:, 0]], z[edges[:, 1]]], axis=1)
             if edges.shape[0]
@@ -207,6 +216,6 @@ class PGExplainerBaseline(RankingExplainer):
             edges=edges,
             edge_embeddings=edge_embeddings,
             active=active,
-            target=self.model.predict(graph),
+            target=target,
             features=graph.features,
         )

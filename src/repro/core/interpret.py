@@ -18,8 +18,9 @@ from repro.acfg.graph import ACFG
 from repro.core.model import CFGExplainerModel
 from repro.explain.base import Explainer, level_fractions
 from repro.explain.explanation import Explanation, SubgraphLevel
+from repro.gnn.cache import EmbeddingCache
 from repro.gnn.model import GCNClassifier
-from repro.nn import no_grad
+from repro.nn import Tensor, no_grad
 
 __all__ = ["interpret", "CFGExplainer"]
 
@@ -30,6 +31,7 @@ def interpret(
     graph: ACFG,
     step_size: int = 10,
     mask_features: bool = True,
+    embedding_cache: EmbeddingCache | None = None,
 ) -> Explanation:
     """Run Algorithm 2 on one ACFG.
 
@@ -45,6 +47,11 @@ def interpret(
       evaluation classifies has both masked, so this keeps the
       re-scored embeddings on the distribution the scores are used
       against; pass ``False`` for the literal Algorithm 2.
+
+    ``embedding_cache`` (the pipeline's shared
+    :class:`~repro.gnn.EmbeddingCache`) serves the full-graph rung —
+    Z of the first iteration and the predicted class — without
+    re-running Φ; pruned rungs always recompute, as they must.
     """
     if graph.n_real == 0:
         raise ValueError("cannot interpret a graph with no real nodes")
@@ -68,8 +75,13 @@ def interpret(
         snapshots.append(adjacency.copy())
         if next_target >= len(remaining):
             continue
-        with no_grad():
-            z = gnn.embed(adjacency, features, active_mask)
+        if embedding_cache is not None and not removal_order:
+            # Full-graph rung: adjacency/features are still untouched
+            # copies of the input graph, so the shared cache applies.
+            z = Tensor(embedding_cache.forward(graph).z)
+        else:
+            with no_grad():
+                z = gnn.embed(adjacency, features, active_mask)
         scores = explainer.node_scores(z, n_real)
         if first_pass_scores is None:
             first_pass_scores = scores.copy()
@@ -107,10 +119,15 @@ def interpret(
         for fraction, size, snapshot in zip(fractions, target_sizes, snapshots)
     ]
 
+    predicted_class = (
+        embedding_cache.forward(graph).predicted_class
+        if embedding_cache is not None
+        else gnn.predict(graph)
+    )
     return Explanation(
         graph=graph,
         explainer_name="CFGExplainer",
-        predicted_class=gnn.predict(graph),
+        predicted_class=predicted_class,
         node_order=node_order,
         levels=levels,
         node_scores=first_pass_scores,
@@ -122,9 +139,21 @@ class CFGExplainer(Explainer):
 
     name = "CFGExplainer"
 
-    def __init__(self, model: GCNClassifier, theta: CFGExplainerModel):
+    def __init__(
+        self,
+        model: GCNClassifier,
+        theta: CFGExplainerModel,
+        embedding_cache: EmbeddingCache | None = None,
+    ):
         super().__init__(model)
         self.theta = theta
+        self.embedding_cache = embedding_cache
 
     def explain(self, graph: ACFG, step_size: int = 10) -> Explanation:
-        return interpret(self.theta, self.model, graph, step_size)
+        return interpret(
+            self.theta,
+            self.model,
+            graph,
+            step_size,
+            embedding_cache=self.embedding_cache,
+        )

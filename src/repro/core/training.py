@@ -8,17 +8,22 @@ the explainer learns to explain the model, mistakes included.
 The GNN Φ is frozen throughout — Algorithm 1 only reads Z = Φ_e(A, X)
 and C = Φ_c(Z) — so embeddings are precomputed once per graph instead
 of re-running Φ_e every epoch (lines 6-7 hoisted out of the loop; the
-result is identical because Φ never changes).
+result is identical because Φ never changes).  The precomputation runs
+through the batched block-diagonal engine and can share a
+:class:`repro.gnn.EmbeddingCache` with the rest of the pipeline, so Z
+computed during classifier evaluation is never recomputed here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.acfg.dataset import ACFGDataset
 from repro.core.model import CFGExplainerModel
+from repro.gnn.batch import iter_batches
+from repro.gnn.cache import EmbeddingCache
 from repro.gnn.model import GCNClassifier
 from repro.nn import Adam, Tensor, nll_loss_from_probs, no_grad
 
@@ -53,14 +58,33 @@ class _EmbeddedSample:
     features: np.ndarray | None = None
 
 
+def _normalized_a_hat(
+    model: GCNClassifier, adjacency: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Â via the model's keyed cache, or directly for models without one."""
+    cache = getattr(model, "a_hat_cache", None)
+    if cache is not None:
+        return cache.get(adjacency, mask)
+    from repro.gnn.normalize import normalized_adjacency
+
+    return normalized_adjacency(adjacency, mask)
+
+
 def precompute_embeddings(
     model: GCNClassifier,
     dataset: ACFGDataset,
     augment_prune_fractions: tuple[float, ...] = (),
     seed: int = 0,
     cache_graph_inputs: bool = False,
+    embedding_cache: EmbeddingCache | None = None,
+    batch_size: int = 32,
 ) -> list[_EmbeddedSample]:
     """Run the frozen Φ over every graph once (lines 6-7 of Algorithm 1).
+
+    Base graphs are embedded in batched block-diagonal passes; when the
+    pipeline passes its shared ``embedding_cache``, graphs already
+    embedded during classifier evaluation are served from the cache
+    instead of recomputed.
 
     ``augment_prune_fractions`` adds, per graph and per fraction p, one
     extra training sample whose adjacency has a random p-share of real
@@ -70,33 +94,35 @@ def precompute_embeddings(
     in distribution; the class target stays the *full* graph's
     prediction, because that is what the explanation must preserve.
     """
-    from repro.gnn.normalize import normalized_adjacency
-
     rng = np.random.default_rng(seed)
-    cached = []
-    for graph in dataset:
+    cache = embedding_cache if embedding_cache is not None else EmbeddingCache(model)
+    cache.populate(dataset, batch_size=batch_size)
+
+    per_graph: list[list[_EmbeddedSample]] = []
+    variants: list[int] = []  # graph index of each pending pruned variant
+    variant_graphs = []
+    for graph_index, graph in enumerate(dataset):
         mask = np.zeros(graph.n, dtype=bool)
         mask[: graph.n_real] = True
-        with no_grad():
-            z = model.embed(graph.adjacency, graph.features, mask)
-            probs = model.classify(z)
-        full_class = int(np.argmax(probs.numpy()))
-        cached.append(
-            _EmbeddedSample(
-                embeddings=z.numpy().copy(),
-                gnn_class=full_class,
-                active_mask=mask,
-                a_hat=(
-                    normalized_adjacency(graph.adjacency, mask)
-                    if cache_graph_inputs
-                    else None
-                ),
-                features=(
-                    np.asarray(graph.features, dtype=np.float64)
-                    if cache_graph_inputs
-                    else None
-                ),
-            )
+        entry = cache.forward(graph)
+        per_graph.append(
+            [
+                _EmbeddedSample(
+                    embeddings=entry.z,
+                    gnn_class=entry.predicted_class,
+                    active_mask=mask,
+                    a_hat=(
+                        _normalized_a_hat(model, graph.adjacency, mask)
+                        if cache_graph_inputs
+                        else None
+                    ),
+                    features=(
+                        np.asarray(graph.features, dtype=np.float64)
+                        if cache_graph_inputs
+                        else None
+                    ),
+                )
+            ]
         )
         for fraction in augment_prune_fractions:
             prune_count = int(round(fraction * graph.n_real))
@@ -106,16 +132,44 @@ def precompute_embeddings(
             adjacency = graph.adjacency.copy()
             adjacency[pruned, :] = 0.0
             adjacency[:, pruned] = 0.0
+            variant_graphs.append(replace(graph, adjacency=adjacency))
+            variants.append(graph_index)
+
+    # Embed the pruned variants in batched passes too, then slot each
+    # one in right after its base graph (the order downstream tests and
+    # mini-batch sampling see).  Their one-off adjacencies bypass the
+    # Â cache so they cannot evict hot entries.
+    if variant_graphs and not hasattr(model, "embed_batch"):
+        for graph_index, variant in zip(variants, variant_graphs):
+            samples = per_graph[graph_index]
             with no_grad():
-                z_variant = model.embed(adjacency, graph.features, mask)
-            cached.append(
+                z = model.embed(
+                    variant.adjacency, variant.features, samples[0].active_mask
+                )
+            samples.append(
                 _EmbeddedSample(
-                    embeddings=z_variant.numpy().copy(),
-                    gnn_class=full_class,
-                    active_mask=mask,
+                    embeddings=z.numpy().copy(),
+                    gnn_class=samples[0].gnn_class,
+                    active_mask=samples[0].active_mask,
                 )
             )
-    return cached
+    elif variant_graphs:
+        offset = 0
+        for batch in iter_batches(variant_graphs, batch_size):
+            with no_grad():
+                z = model.embed_batch(batch)
+            z_data = z.numpy()
+            for i in range(batch.num_graphs):
+                samples = per_graph[variants[offset + i]]
+                samples.append(
+                    _EmbeddedSample(
+                        embeddings=z_data[batch.rows_of(i)].copy(),
+                        gnn_class=samples[0].gnn_class,
+                        active_mask=samples[0].active_mask,
+                    )
+                )
+            offset += batch.num_graphs
+    return [sample for samples in per_graph for sample in samples]
 
 
 def train_cfgexplainer(
@@ -134,6 +188,7 @@ def train_cfgexplainer(
     sparsity_target: float | None = None,
     augment_prune_fractions: tuple[float, ...] = (),
     seed: int = 0,
+    embedding_cache: EmbeddingCache | None = None,
     verbose: bool = False,
 ) -> ExplainerTrainingHistory:
     """The initial learning stage (Algorithm 1).
@@ -176,6 +231,7 @@ def train_cfgexplainer(
         augment_prune_fractions,
         seed=seed,
         cache_graph_inputs=faithfulness_probe == "graph",
+        embedding_cache=embedding_cache,
     )
     optimizer = Adam(explainer.parameters(), lr=lr)
     history = ExplainerTrainingHistory()

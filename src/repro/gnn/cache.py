@@ -1,0 +1,224 @@
+"""Content-keyed caches for per-graph artifacts of the frozen GNN.
+
+Two cost centers dominated the seed pipeline's redundant work:
+
+* ``normalized_adjacency`` was rebuilt on *every* ``predict`` /
+  ``embed`` call — O(N²) symmetrize/degree/scale passes per forward —
+  even though the evaluation calls the classifier on the same graphs
+  over and over.  :class:`AHatCache` memoizes Â (and its CSR form for
+  the batched engine) behind a content key.
+* Every explainer independently re-ran the frozen Φ over the training
+  and test graphs to get embeddings Z and the predicted class.
+  :class:`EmbeddingCache` computes them once — in batched passes — and
+  hands them to CFGExplainer training, PGExplainer's offline stage and
+  the Figure 2 / Tables III–IV experiments.
+
+Keys are content hashes (array bytes), not object identities:
+Algorithm 2 mutates adjacency buffers in place between forward passes,
+so identity-keyed caching would silently serve stale matrices.  Hashing
+is O(N²) but a small constant compared to normalization or a forward
+pass, and it makes the caches safe for arbitrary callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.gnn.normalize import normalized_adjacency
+from repro.nn.sparse import CSRMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.acfg.dataset import ACFGDataset
+    from repro.acfg.graph import ACFG
+    from repro.gnn.model import GCNClassifier
+
+__all__ = ["AHatCache", "CacheInfo", "CachedForward", "EmbeddingCache"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss counters, mirroring ``functools.lru_cache.cache_info``."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+def _digest(*arrays: np.ndarray) -> bytes:
+    hasher = hashlib.sha1()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.digest()
+
+
+class _AHatEntry:
+    __slots__ = ("dense", "csr")
+
+    def __init__(self, dense: np.ndarray):
+        self.dense = dense
+        self.csr: CSRMatrix | None = None
+
+
+class AHatCache:
+    """LRU cache of normalized adjacencies keyed by graph content.
+
+    ``get`` returns the dense Â consumed by the per-graph path;
+    ``get_csr`` additionally memoizes the CSR form the batched engine
+    packs into block-diagonal matrices.  Returned arrays are shared —
+    treat them as read-only.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[bytes, _AHatEntry] = OrderedDict()
+
+    def _entry(
+        self, adjacency: np.ndarray, active_mask: np.ndarray | None
+    ) -> _AHatEntry:
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        mask = (
+            np.ones(adjacency.shape[0], dtype=bool)
+            if active_mask is None
+            else np.asarray(active_mask, dtype=bool)
+        )
+        key = _digest(adjacency, mask)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = _AHatEntry(normalized_adjacency(adjacency, mask))
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def get(
+        self, adjacency: np.ndarray, active_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The dense normalized adjacency Â, computed at most once."""
+        return self._entry(adjacency, active_mask).dense
+
+    def get_csr(
+        self, adjacency: np.ndarray, active_mask: np.ndarray | None = None
+    ) -> CSRMatrix:
+        """Â in CSR form, for block-diagonal batch packing."""
+        entry = self._entry(adjacency, active_mask)
+        if entry.csr is None:
+            entry.csr = CSRMatrix.from_dense(entry.dense)
+        return entry.csr
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class CachedForward:
+    """Frozen-GNN outputs for one graph: embeddings and classification."""
+
+    z: np.ndarray  # [N, f] node embeddings (padded rows zero)
+    probs: np.ndarray  # [C] class probabilities
+    predicted_class: int
+
+
+class EmbeddingCache:
+    """Shared store of frozen-GNN forward results, filled in batches.
+
+    The pipeline populates it right after classifier training; explainer
+    training (:func:`repro.core.training.precompute_embeddings`),
+    PGExplainer's offline stage and Algorithm 2's first rung then reuse
+    Z / the predicted class instead of re-running Φ per consumer.
+    """
+
+    def __init__(self, model: "GCNClassifier"):
+        self.model = model
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[bytes, CachedForward] = {}
+
+    @staticmethod
+    def _key(graph: "ACFG") -> bytes:
+        return _digest(
+            graph.adjacency, graph.features, np.asarray([graph.n_real])
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def populate(self, dataset: "ACFGDataset | list[ACFG]", batch_size: int = 32) -> None:
+        """Run batched forward passes over every graph not yet cached."""
+        from repro.gnn.batch import iter_batches
+        from repro.nn import no_grad
+
+        pending = [g for g in dataset if self._key(g) not in self._entries]
+        if not pending:
+            return
+        if not hasattr(self.model, "embed_batch"):
+            # Alternative Φ implementations without the batched engine
+            # (e.g. DGCNN): one dense forward per graph.
+            for graph in pending:
+                mask = np.zeros(graph.n, dtype=bool)
+                mask[: graph.n_real] = True
+                with no_grad():
+                    z = self.model.embed(graph.adjacency, graph.features, mask)
+                    probs = self.model.classify(z)
+                probs_data = probs.numpy().reshape(-1).copy()
+                self._entries[self._key(graph)] = CachedForward(
+                    z=z.numpy().copy(),
+                    probs=probs_data,
+                    predicted_class=int(np.argmax(probs_data)),
+                )
+            return
+        for batch in iter_batches(
+            pending, batch_size, a_hat_cache=getattr(self.model, "a_hat_cache", None)
+        ):
+            with no_grad():
+                z = self.model.embed_batch(batch)
+                probs = self.model.logits_batch(z, batch).softmax(axis=-1)
+            z_data, probs_data = z.numpy(), probs.numpy()
+            for i, graph in enumerate(batch.graphs):
+                rows = slice(batch.offsets[i], batch.offsets[i + 1])
+                entry = CachedForward(
+                    z=z_data[rows].copy(),
+                    probs=probs_data[i].copy(),
+                    predicted_class=int(np.argmax(probs_data[i])),
+                )
+                self._entries[self._key(graph)] = entry
+
+    def lookup(self, graph: "ACFG") -> CachedForward | None:
+        entry = self._entries.get(self._key(graph))
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def forward(self, graph: "ACFG") -> CachedForward:
+        """Cached forward results, computing (and storing) on a miss."""
+        key = self._key(graph)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        self.populate([graph], batch_size=1)
+        return self._entries[key]
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, len(self._entries), -1)

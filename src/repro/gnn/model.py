@@ -6,28 +6,32 @@ the paper's ``Z ∈ R_{>=0}^{N×f}`` notation requires); Φ_c is a densely
 connected linear layer producing probabilities over the 12 families,
 consuming *all* node embeddings (sum pooling keeps that property while
 staying size-independent).
+
+The classifier has two execution engines:
+
+* the per-graph dense path (``embed`` / ``forward_acfg`` / ``predict``)
+  — kept as the differentiable-adjacency entry point the mask-based
+  explainers backpropagate through;
+* the batched block-diagonal path (``embed_batch`` / ``logits_batch``
+  / ``predict_batch``) over :class:`repro.gnn.batch.GraphBatch`, which
+  runs a whole mini-batch in one sparse forward pass.  Both paths are
+  numerically identical (tests/test_graph_batch.py).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.acfg.graph import ACFG
-from repro.gnn.normalize import normalized_adjacency
-from repro.nn import Dense, GCNConv, Module, Tensor, no_grad
+from repro.gnn.cache import AHatCache
+from repro.nn import Dense, GCNConv, Module, Tensor, no_grad, segment_max, segment_sum
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.gnn.batch import GraphBatch
 
 __all__ = ["GCNClassifier"]
-
-
-@dataclass(frozen=True)
-class _ForwardCache:
-    """Precomputed per-graph inputs reused across forward passes."""
-
-    a_hat: np.ndarray
-    features: np.ndarray
-    mask: np.ndarray
 
 
 class GCNClassifier(Module):
@@ -73,6 +77,10 @@ class GCNClassifier(Module):
         self.in_features = in_features
         self.embedding_size = hidden[-1]
         self.num_classes = num_classes
+        #: Content-keyed memo of normalized adjacencies: repeated
+        #: ``predict``/``embed`` calls on the same graph, and batch
+        #: packing across epochs, reuse Â instead of rebuilding it.
+        self.a_hat_cache = AHatCache()
 
     # ------------------------------------------------------------------
     # Φ_e : node embeddings
@@ -92,7 +100,7 @@ class GCNClassifier(Module):
         n = adjacency.shape[0]
         if active_mask is None:
             active_mask = np.ones(n, dtype=bool)
-        a_hat = Tensor(normalized_adjacency(adjacency, active_mask))
+        a_hat = Tensor(self.a_hat_cache.get(adjacency, active_mask))
         return self.embed_normalized(a_hat, features, active_mask)
 
     def embed_normalized(
@@ -139,6 +147,65 @@ class GCNClassifier(Module):
         else:  # mean over the padded size (constant divisor)
             pooled = z.sum(axis=0, keepdims=True) * (1.0 / z.shape[0])
         return self.classifier(pooled).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # batched block-diagonal engine
+    # ------------------------------------------------------------------
+    def embed_batch(self, batch: "GraphBatch") -> Tensor:
+        """Stacked node embeddings for a whole batch, ``[total_nodes, f]``.
+
+        One sparse forward pass over the block-diagonal Â; row
+        ``batch.rows_of(i)`` holds graph *i*'s embeddings, identical to
+        what :meth:`embed` produces for that graph alone.
+        """
+        mask = Tensor(batch.active_mask.astype(np.float64).reshape(-1, 1))
+        z = Tensor.ensure(batch.features)
+        for conv in self.convs:
+            z = conv.sparse(batch.a_hat, z) * mask
+        return z
+
+    def logits_batch(self, z: Tensor, batch: "GraphBatch") -> Tensor:
+        """Per-graph logits ``[B, C]`` from stacked embeddings.
+
+        Pooling becomes a segment reduction over ``batch.segment_ids``;
+        mean pooling keeps the per-graph path's divide-by-padded-size
+        convention via ``batch.sizes``.
+        """
+        if self.pooling == "max":
+            pooled = segment_max(z, batch.segment_ids, batch.num_graphs)
+        elif self.pooling == "sum":
+            pooled = segment_sum(z, batch.segment_ids, batch.num_graphs)
+        else:  # mean over the padded size (constant per-graph divisor)
+            pooled = segment_sum(z, batch.segment_ids, batch.num_graphs) * (
+                1.0 / batch.sizes.astype(np.float64).reshape(-1, 1)
+            )
+        return self.classifier(pooled)
+
+    def forward_batch(self, batch: "GraphBatch") -> tuple[Tensor, Tensor]:
+        """(stacked Z, logits ``[B, C]``) for one packed batch."""
+        z = self.embed_batch(batch)
+        return z, self.logits_batch(z, batch)
+
+    def predict_proba_batch(
+        self, graphs: Sequence[ACFG], batch_size: int = 64
+    ) -> np.ndarray:
+        """Class probabilities ``[len(graphs), C]`` in a few batched passes."""
+        from repro.gnn.batch import iter_batches
+
+        rows = []
+        with no_grad():
+            for batch in iter_batches(
+                graphs, batch_size, a_hat_cache=self.a_hat_cache
+            ):
+                _, logits = self.forward_batch(batch)
+                rows.append(logits.softmax(axis=-1).numpy())
+        return np.vstack(rows)
+
+    def predict_batch(
+        self, graphs: Sequence[ACFG], batch_size: int = 64
+    ) -> np.ndarray:
+        """Argmax predictions for many graphs via the batched engine."""
+        return np.argmax(self.predict_proba_batch(graphs, batch_size), axis=1)
 
     # ------------------------------------------------------------------
     # conveniences over ACFG samples

@@ -11,16 +11,22 @@ from repro.nn.layers import Dense, GCNConv, Module, Sequential
 from repro.nn.losses import (
     binary_cross_entropy,
     cross_entropy,
+    cross_entropy_batch,
     nll_loss,
     nll_loss_from_probs,
 )
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.serialize import load_module_into, save_module
+from repro.nn.sparse import CSRMatrix, csr_matmul, segment_max, segment_sum
 from repro.nn.tensor import Tensor, no_grad
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "CSRMatrix",
+    "csr_matmul",
+    "segment_sum",
+    "segment_max",
     "glorot_uniform",
     "he_normal",
     "zeros_init",
@@ -34,6 +40,7 @@ __all__ = [
     "nll_loss",
     "nll_loss_from_probs",
     "cross_entropy",
+    "cross_entropy_batch",
     "binary_cross_entropy",
     "save_module",
     "load_module_into",

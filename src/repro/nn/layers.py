@@ -14,6 +14,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.nn.init import glorot_uniform, he_normal
+from repro.nn.sparse import CSRMatrix, csr_matmul
 from repro.nn.tensor import Tensor
 
 __all__ = ["Module", "Dense", "GCNConv", "Sequential"]
@@ -135,6 +136,14 @@ class GCNConv(Module):
 
     def __call__(self, a_hat: Tensor, x: Tensor) -> Tensor:
         return self._activation(a_hat @ (x @ self.weight) + self.bias)
+
+    def sparse(self, a_hat: "CSRMatrix", x: Tensor) -> Tensor:
+        """The same propagation with a constant CSR matrix.
+
+        Used by the batched engine, where ``a_hat`` is the
+        block-diagonal Â of a whole mini-batch.
+        """
+        return self._activation(csr_matmul(a_hat, x @ self.weight) + self.bias)
 
 
 class Sequential(Module):

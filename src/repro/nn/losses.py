@@ -15,6 +15,7 @@ __all__ = [
     "nll_loss",
     "nll_loss_from_probs",
     "cross_entropy",
+    "cross_entropy_batch",
     "binary_cross_entropy",
 ]
 
@@ -39,6 +40,24 @@ def nll_loss(log_probs: Tensor, target: int) -> Tensor:
 def cross_entropy(logits: Tensor, target: int) -> Tensor:
     """Cross-entropy on raw logits (stable log-softmax formulation)."""
     return nll_loss(logits.log_softmax(axis=-1), target)
+
+
+def cross_entropy_batch(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy over a batch of logit rows.
+
+    ``logits`` has shape ``[B, C]`` and ``targets`` holds B class
+    indices.  Equals the mean of per-row :func:`cross_entropy`, so a
+    batched training step reproduces the per-graph loop's loss exactly.
+    """
+    targets = np.asarray(targets, dtype=np.intp).reshape(-1)
+    batch = logits.shape[0]
+    if targets.shape[0] != batch:
+        raise ValueError(
+            f"{targets.shape[0]} targets for {batch} logit rows"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(batch), targets]
+    return -(picked.sum() * (1.0 / batch))
 
 
 def binary_cross_entropy(probs: Tensor, targets: np.ndarray, eps: float = 1e-12) -> Tensor:

@@ -1,0 +1,189 @@
+"""Sparse-matrix and segment operations for batched graph execution.
+
+A mini-batch of graphs can be executed as one big *disconnected* graph:
+stack every graph's normalized adjacency into a block-diagonal matrix,
+stack the node features row-wise, and remember which rows belong to
+which graph in a ``segment_ids`` vector.  A GCN layer applied to the
+block-diagonal matrix is mathematically identical to applying it to
+each graph separately (messages cannot cross blocks), and per-graph
+pooling becomes a segment reduction.
+
+The block-diagonal matrix is overwhelmingly sparse — its density falls
+as ``1/num_graphs`` — so it is stored in CSR form (:class:`CSRMatrix`)
+and multiplied with scipy's compiled kernels.  The ops here are the
+autograd-facing entry points: like every op in :mod:`repro.nn.tensor`
+they record a backward closure on the tape and are finite-difference
+tested in ``tests/test_autograd.py``.
+
+The CSR matrix itself is a *constant* of the graph (no gradients flow
+into its values); differentiable adjacencies — the soft masks the
+baseline explainers optimize — keep using the dense tensor path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as _sp
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["CSRMatrix", "csr_matmul", "segment_sum", "segment_max"]
+
+
+class CSRMatrix:
+    """An immutable CSR sparse matrix used as a constant in autograd ops.
+
+    Wraps ``scipy.sparse.csr_matrix`` and lazily materializes the
+    transpose (needed by the backward pass of :func:`csr_matmul`) on
+    first use so inference-only paths never pay for it.
+    """
+
+    __slots__ = ("matrix", "_transpose")
+
+    def __init__(self, matrix):
+        if _sp.issparse(matrix) and matrix.format == "csr" and matrix.dtype == np.float64:
+            self.matrix = matrix
+        else:
+            self.matrix = _sp.csr_matrix(matrix, dtype=np.float64)
+        self._transpose = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls(_sp.csr_matrix(np.asarray(dense, dtype=np.float64)))
+
+    @classmethod
+    def block_diagonal(cls, blocks: list["CSRMatrix | np.ndarray"]) -> "CSRMatrix":
+        """Stack square blocks along the diagonal: diag(B_1, ..., B_k).
+
+        Assembled directly in CSR form — concatenated data, column
+        indices shifted per block, row pointers offset by cumulative
+        nnz — because ``scipy.sparse.block_diag`` routes through COO
+        and its per-block allocations dominate mini-batch packing.
+        """
+        if not blocks:
+            raise ValueError("need at least one block")
+        mats = [
+            b.matrix if isinstance(b, CSRMatrix) else _sp.csr_matrix(b)
+            for b in blocks
+        ]
+        if len(mats) == 1:
+            return cls(mats[0])
+        rows = np.array([m.shape[0] for m in mats])
+        cols = np.array([m.shape[1] for m in mats])
+        col_offsets = np.concatenate([[0], np.cumsum(cols[:-1])])
+        nnz_offsets = np.concatenate([[0], np.cumsum([m.nnz for m in mats[:-1]])])
+        data = np.concatenate([m.data for m in mats])
+        indices = np.concatenate(
+            [m.indices + off for m, off in zip(mats, col_offsets)]
+        )
+        indptr = np.concatenate(
+            [mats[0].indptr]
+            + [m.indptr[1:] + off for m, off in zip(mats[1:], nnz_offsets[1:])]
+        )
+        shape = (int(rows.sum()), int(cols.sum()))
+        return cls(_sp.csr_matrix((data, indices, indptr), shape=shape))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def toarray(self) -> np.ndarray:
+        return self.matrix.toarray()
+
+    @property
+    def T(self):
+        if self._transpose is None:
+            self._transpose = self.matrix.T.tocsr()
+        return self._transpose
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def csr_matmul(a: CSRMatrix, x: Tensor) -> Tensor:
+    """``a @ x`` where ``a`` is a constant CSR matrix and ``x`` a tensor.
+
+    Gradient: ``d loss/d x = aᵀ @ grad``.  No gradient flows into ``a``.
+    """
+    x = Tensor.ensure(x)
+    data = a.matrix @ x.data
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(a.T @ grad)
+
+    return Tensor._from_op(np.asarray(data), (x,), backward, "csr_matmul")
+
+
+def _check_segments(
+    x: Tensor, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    segment_ids = np.asarray(segment_ids, dtype=np.intp)
+    if segment_ids.ndim != 1 or segment_ids.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"segment_ids must be 1-D with one entry per row; got "
+            f"{segment_ids.shape} for {x.shape[0]} rows"
+        )
+    if segment_ids.size and (
+        segment_ids.min() < 0 or segment_ids.max() >= num_segments
+    ):
+        raise ValueError("segment ids out of range")
+    return segment_ids
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Row-wise scatter-add: ``out[s] = Σ_{i: segment_ids[i]=s} x[i]``.
+
+    The batched form of per-graph sum pooling: with rows stacked across
+    graphs and ``segment_ids`` mapping rows to graphs, this reduces a
+    whole mini-batch in one call.  Output shape ``[num_segments, f]``.
+    """
+    x = Tensor.ensure(x)
+    segment_ids = _check_segments(x, segment_ids, num_segments)
+    out = np.zeros((num_segments,) + x.shape[1:], dtype=np.float64)
+    np.add.at(out, segment_ids, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[segment_ids])
+
+    return Tensor._from_op(out, (x,), backward, "segment_sum")
+
+
+def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Row-wise segment maximum, the batched form of max pooling.
+
+    Every segment must be non-empty.  Ties split the gradient evenly,
+    matching the subgradient convention of :meth:`Tensor.max`.
+    """
+    x = Tensor.ensure(x)
+    segment_ids = _check_segments(x, segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments)
+    if np.any(counts == 0):
+        raise ValueError("segment_max requires every segment to be non-empty")
+
+    contiguous = bool(np.all(np.diff(segment_ids) >= 0))
+    if contiguous:
+        # Sorted segment ids (the GraphBatch layout): compiled reduceat.
+        starts = np.zeros(num_segments, dtype=np.intp)
+        starts[1:] = np.cumsum(counts)[:-1]
+        out = np.maximum.reduceat(x.data, starts, axis=0)
+    else:
+        out = np.full((num_segments,) + x.shape[1:], -np.inf)
+        np.maximum.at(out, segment_ids, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        winners = (x.data == out[segment_ids]).astype(np.float64)
+        tie_counts = np.zeros_like(out)
+        np.add.at(tie_counts, segment_ids, winners)
+        x._accumulate(winners * (grad / tie_counts)[segment_ids])
+
+    return Tensor._from_op(out, (x,), backward, "segment_max")

@@ -14,6 +14,9 @@ in order and the exit code is non-zero if any of them fails:
 3. ``repro.staticcheck.verify_corpus`` in strict mode over a freshly
    generated corpus — the same CFG/ACFG invariant gate the evaluation
    pipeline runs.
+4. A batching smoke test: the block-diagonal batched engine must match
+   the per-graph dense path to 1e-8 (logits and embeddings) on a tiny
+   corpus — the core equivalence the batched pipeline rests on.
 """
 
 from __future__ import annotations
@@ -72,6 +75,38 @@ def _run_corpus_verification(samples: int, seed: int) -> bool:
     return True
 
 
+def _run_batching_smoke(samples: int, seed: int, tolerance: float = 1e-8) -> bool:
+    import numpy as np
+
+    from repro.acfg import ACFGDataset
+    from repro.gnn import GCNClassifier, GraphBatch
+    from repro.malgen import generate_corpus
+    from repro.nn import no_grad
+
+    dataset = ACFGDataset.from_corpus(generate_corpus(samples, seed=seed))
+    model = GCNClassifier(hidden=(16, 8), rng=np.random.default_rng(seed))
+    batch = GraphBatch.from_graphs(list(dataset))
+    with no_grad():
+        z_batch, logits_batch = model.forward_batch(batch)
+    worst = 0.0
+    for i, graph in enumerate(dataset):
+        with no_grad():
+            z, _ = model.forward_acfg(graph)
+            logits = model.logits(z)
+        worst = max(
+            worst,
+            float(np.max(np.abs(z_batch.numpy()[batch.rows_of(i)] - z.numpy()))),
+            float(np.max(np.abs(logits_batch.numpy()[i] - logits.numpy()))),
+        )
+    ok = worst <= tolerance
+    status = "ok" if ok else "FAILED"
+    print(
+        f"[check] batching smoke: {len(dataset)} graphs, "
+        f"max |batched - per-graph| = {worst:.3e} ({status})"
+    )
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     del argv  # no options yet; kept for entry-point compatibility
     root = _repo_root()
@@ -83,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
     results["corpus verification"] = _run_corpus_verification(
         samples=3, seed=0
     )
+    results["batching smoke"] = _run_batching_smoke(samples=2, seed=0)
 
     print("\n[check] summary")
     failed = False

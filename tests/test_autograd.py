@@ -9,7 +9,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn import Tensor, no_grad
+from repro.nn import (
+    CSRMatrix,
+    Tensor,
+    cross_entropy_batch,
+    csr_matmul,
+    no_grad,
+    segment_max,
+    segment_sum,
+)
 
 
 def finite_diff(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -206,6 +214,108 @@ class TestGraphMechanics:
             out = out + 1.0
         out.sum().backward()
         np.testing.assert_allclose(t.grad, [1.0])
+
+
+class TestSegmentAndSparseOps:
+    """Gradients of the batched-execution ops (segment pooling, CSR matmul)."""
+
+    SEGMENTS = np.array([0, 0, 1, 1, 1, 2])
+
+    def test_segment_sum_gradient(self):
+        x = np.asarray(np.random.default_rng(6).normal(size=(6, 3)))
+        check_gradient(
+            lambda t: (segment_sum(t, self.SEGMENTS, 3) ** 2).sum(), x
+        )
+
+    def test_segment_sum_matches_per_segment_sums(self):
+        x = Tensor(np.arange(12.0).reshape(6, 2))
+        out = segment_sum(x, self.SEGMENTS, 3).numpy()
+        np.testing.assert_allclose(out[0], x.numpy()[:2].sum(axis=0))
+        np.testing.assert_allclose(out[1], x.numpy()[2:5].sum(axis=0))
+        np.testing.assert_allclose(out[2], x.numpy()[5:].sum(axis=0))
+
+    def test_segment_max_gradient(self):
+        x = np.asarray(np.random.default_rng(7).normal(size=(6, 3)))
+        check_gradient(
+            lambda t: (segment_max(t, self.SEGMENTS, 3) * 1.5).sum(), x
+        )
+
+    def test_segment_max_unsorted_segments(self):
+        shuffled = np.array([2, 0, 1, 0, 1, 1])
+        x = np.asarray(np.random.default_rng(8).normal(size=(6, 2)))
+        check_gradient(lambda t: segment_max(t, shuffled, 3).sum(), x)
+
+    def test_segment_max_splits_tied_gradient(self):
+        x = Tensor(np.array([[1.0], [1.0], [0.5]]), requires_grad=True)
+        segment_max(x, np.array([0, 0, 0]), 1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5], [0.5], [0.0]])
+
+    def test_segment_max_rejects_empty_segment(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            segment_max(Tensor(np.ones((2, 1))), np.array([0, 2]), 3)
+
+    def test_segment_ids_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one entry per row"):
+            segment_sum(Tensor(np.ones((3, 1))), np.array([0, 1]), 2)
+
+    def test_csr_matmul_gradient(self):
+        rng = np.random.default_rng(9)
+        dense = rng.choice([0.0, 0.0, 1.0, 0.5], size=(5, 5))
+        a = CSRMatrix.from_dense(dense)
+        x = np.asarray(rng.normal(size=(5, 3)))
+        check_gradient(lambda t: (csr_matmul(a, t) ** 2).sum(), x)
+
+    def test_csr_matmul_matches_dense(self):
+        rng = np.random.default_rng(10)
+        dense = rng.choice([0.0, 0.0, 0.7, 2.0], size=(4, 4))
+        x = rng.normal(size=(4, 2))
+        out = csr_matmul(CSRMatrix.from_dense(dense), Tensor(x)).numpy()
+        np.testing.assert_allclose(out, dense @ x, atol=1e-12)
+
+    def test_block_diagonal_layout(self):
+        a = CSRMatrix.block_diagonal(
+            [np.eye(2), np.full((1, 1), 3.0)]
+        )
+        expected = np.zeros((3, 3))
+        expected[:2, :2] = np.eye(2)
+        expected[2, 2] = 3.0
+        np.testing.assert_allclose(a.toarray(), expected)
+
+    def test_cross_entropy_batch_gradient(self):
+        targets = np.array([2, 0])
+        check_gradient(
+            lambda t: cross_entropy_batch(t, targets),
+            np.asarray(np.random.default_rng(11).normal(size=(2, 4))),
+        )
+
+    def test_cross_entropy_batch_is_mean_of_rows(self):
+        from repro.nn import cross_entropy
+
+        rng = np.random.default_rng(12)
+        logits = rng.normal(size=(3, 5))
+        targets = np.array([1, 4, 0])
+        batched = cross_entropy_batch(Tensor(logits), targets).item()
+        rows = [
+            cross_entropy(Tensor(logits[i]), int(t)).item()
+            for i, t in enumerate(targets)
+        ]
+        np.testing.assert_allclose(batched, np.mean(rows), atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_sparse_gcn_layer_gradient(self, seed):
+        """A CSR propagation + segment pooling chain matches finite diffs."""
+        rng = np.random.default_rng(seed)
+        dense = rng.choice([0.0, 0.0, 0.0, 1.0], size=(6, 6))
+        a = CSRMatrix.from_dense(dense)
+        w = np.asarray(rng.normal(size=(2, 3)))
+        segments = np.array([0, 0, 0, 1, 1, 1])
+
+        def build(t):
+            h = csr_matmul(a, t @ Tensor(w)).relu()
+            return (segment_sum(h, segments, 2) ** 2).sum()
+
+        check_gradient(build, np.asarray(rng.normal(size=(6, 2))), atol=1e-4)
 
 
 @settings(max_examples=25, deadline=None)
