@@ -4,11 +4,42 @@ One pipeline (corpus, trained GNN, trained explainers) is built per
 benchmark session and reused by every experiment module.  The
 configuration is the repository default, scaled to run all benches in a
 few minutes on CPU while keeping the paper's architectural shape.
+
+``BENCH_*.json`` artifacts default to the repository root (the
+committed location) but honor ``$REPRO_BENCH_DIR`` so CI can redirect
+them to a collectable directory; use the ``bench_artifact_dir`` fixture
+(or :func:`bench_artifact_path`) rather than hard-coding paths.
 """
+
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.eval import ExperimentConfig, run_pipeline, sweep_all_families
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _bench_dir() -> Path:
+    override = os.environ.get("REPRO_BENCH_DIR")
+    base = Path(override) if override else REPO_ROOT
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def bench_artifact_path(name: str) -> Path:
+    """Where a ``BENCH_*.json`` artifact should be written.
+
+    ``$REPRO_BENCH_DIR`` overrides the default repo-root location; the
+    directory is created on demand.
+    """
+    return _bench_dir() / name
+
+
+@pytest.fixture(scope="session")
+def bench_artifact_dir() -> Path:
+    return _bench_dir()
 
 BENCH_CONFIG = ExperimentConfig(
     samples_per_family=10,

@@ -3,7 +3,9 @@
 Times identical training/inference workloads under ``mode="batched"``
 (one CSR forward/backward per mini-batch) and ``mode="per_graph"`` (the
 seed's dense loop), asserts the paper-pipeline numbers agree, and writes
-``BENCH_batching.json`` with graphs/sec for each path.
+``BENCH_batching.json`` with graphs/sec for each path (to the repo root
+or ``$REPRO_BENCH_DIR``; ``repro.tools.bench_compare`` gates the
+numbers against ``benchmarks/baselines/``).
 
 Unlike the experiment benches this module builds its own small corpus —
 it does not depend on the session pipeline fixture, so it stays fast
@@ -12,16 +14,16 @@ enough for the tier-1-adjacent smoke set.
 
 import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+from conftest import bench_artifact_path
 
 from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
 from repro.gnn import GCNClassifier, evaluate_accuracy, train_gnn
 from repro.malgen import generate_corpus
 
-ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
+ARTIFACT_NAME = "BENCH_batching.json"
 
 SAMPLES_PER_FAMILY = 6
 SIZE_MULTIPLIER = 4  # ~700-node graphs: the dense path's O(N²) regime
@@ -120,7 +122,7 @@ def test_bench_batched_vs_per_graph(splits):
         },
         "accuracy": round(evaluate_accuracy(model, test_set), 4),
     }
-    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    bench_artifact_path(ARTIFACT_NAME).write_text(json.dumps(report, indent=2) + "\n")
 
     print(
         f"\ntraining   per_graph {report['training']['per_graph']['graphs_per_sec']:>8} g/s"

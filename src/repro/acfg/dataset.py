@@ -11,6 +11,8 @@ import numpy as np
 from repro.acfg.graph import ACFG, from_sample
 from repro.malgen.corpus import LabeledSample
 from repro.malgen.families import FAMILIES
+from repro.obs import add_counter
+from repro.obs import span as obs_span
 
 __all__ = ["FeatureScaler", "ACFGDataset", "train_test_split"]
 
@@ -77,16 +79,19 @@ class ACFGDataset:
             # Imported here: repro.staticcheck depends on repro.acfg.
             from repro.staticcheck import verify_corpus
 
-            verify_corpus(corpus, mode=verify)
-        graphs = [from_sample(sample) for sample in corpus]
-        max_nodes = max(g.n for g in graphs)
-        if pad_to is None:
-            pad_to = max_nodes
-        elif pad_to < max_nodes:
-            raise ValueError(
-                f"pad_to={pad_to} smaller than largest graph ({max_nodes} nodes)"
-            )
-        return cls([g.padded(pad_to) for g in graphs], families)
+            with obs_span("dataset.verify"):
+                verify_corpus(corpus, mode=verify)
+        with obs_span("dataset.from_corpus"):
+            graphs = [from_sample(sample) for sample in corpus]
+            max_nodes = max(g.n for g in graphs)
+            if pad_to is None:
+                pad_to = max_nodes
+            elif pad_to < max_nodes:
+                raise ValueError(
+                    f"pad_to={pad_to} smaller than largest graph ({max_nodes} nodes)"
+                )
+            add_counter("dataset.graphs", len(graphs))
+            return cls([g.padded(pad_to) for g in graphs], families)
 
     def __len__(self) -> int:
         return len(self.graphs)

@@ -28,6 +28,7 @@ from repro.explain.base import RankingExplainer
 from repro.gnn.cache import EmbeddingCache
 from repro.gnn.model import GCNClassifier
 from repro.nn import Adam, Dense, Module, Tensor, nll_loss_from_probs, no_grad
+from repro.obs import add_counter
 
 __all__ = ["PGExplainerBaseline", "MaskPredictor"]
 
@@ -132,6 +133,7 @@ class PGExplainerBaseline(RankingExplainer):
             if verbose:
                 print(f"pg epoch {epoch + 1:3d} loss={history.losses[-1]:.4f}")
         self._trained = True
+        add_counter("pgexplainer.train.epochs", self.epochs)
         return history
 
     def _graph_loss(

@@ -21,6 +21,7 @@ from repro.explain.explanation import Explanation, SubgraphLevel
 from repro.gnn.cache import EmbeddingCache
 from repro.gnn.model import GCNClassifier
 from repro.nn import Tensor, no_grad
+from repro.obs import span as obs_span
 
 __all__ = ["interpret", "CFGExplainer"]
 
@@ -150,10 +151,15 @@ class CFGExplainer(Explainer):
         self.embedding_cache = embedding_cache
 
     def explain(self, graph: ACFG, step_size: int = 10) -> Explanation:
-        return interpret(
-            self.theta,
-            self.model,
-            graph,
-            step_size,
-            embedding_cache=self.embedding_cache,
-        )
+        with obs_span("explain.CFGExplainer") as explain_span:
+            explanation = interpret(
+                self.theta,
+                self.model,
+                graph,
+                step_size,
+                embedding_cache=self.embedding_cache,
+            )
+            explain_span.add("explain.graphs", 1)
+            # Algorithm 2 re-scores once per ladder rung.
+            explain_span.add("explain.iterations", len(explanation.levels))
+            return explanation

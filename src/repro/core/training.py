@@ -26,6 +26,8 @@ from repro.gnn.batch import iter_batches
 from repro.gnn.cache import EmbeddingCache
 from repro.gnn.model import GCNClassifier
 from repro.nn import Adam, Tensor, nll_loss_from_probs, no_grad
+from repro.obs import add_counter
+from repro.obs import span as obs_span
 
 __all__ = ["ExplainerTrainingHistory", "train_cfgexplainer", "precompute_embeddings"]
 
@@ -225,14 +227,17 @@ def train_cfgexplainer(
         )
 
     rng = np.random.default_rng(seed)
-    cached = precompute_embeddings(
-        gnn,
-        train_set,
-        augment_prune_fractions,
-        seed=seed,
-        cache_graph_inputs=faithfulness_probe == "graph",
-        embedding_cache=embedding_cache,
-    )
+    with obs_span("train.explainer.embed"):
+        cached = precompute_embeddings(
+            gnn,
+            train_set,
+            augment_prune_fractions,
+            seed=seed,
+            cache_graph_inputs=faithfulness_probe == "graph",
+            embedding_cache=embedding_cache,
+        )
+    add_counter("explainer.train.epochs", num_epochs)
+    add_counter("explainer.train.samples", len(cached))
     optimizer = Adam(explainer.parameters(), lr=lr)
     history = ExplainerTrainingHistory()
 

@@ -14,6 +14,7 @@ from repro.eval.pipeline import (
     PipelineArtifacts,
     run_pipeline,
 )
+from repro.eval.profile import PROFILE_CONFIG, ProfileResult, profile_pipeline
 from repro.eval.sweep import FamilySweep, sweep_all_families
 from repro.eval.tables import (
     build_table3,
@@ -25,11 +26,13 @@ from repro.eval.timing import ExplainerTiming, measure_timings
 
 __all__ = [
     "PAPER_SCALE_CONFIG",
+    "PROFILE_CONFIG",
     "AgreementRow",
     "ExperimentConfig",
     "ExplainerTiming",
     "FamilySweep",
     "PipelineArtifacts",
+    "ProfileResult",
     "agreement_rows",
     "build_table3",
     "format_agreement",
@@ -38,6 +41,7 @@ __all__ = [
     "format_table4",
     "load_models_into",
     "measure_timings",
+    "profile_pipeline",
     "run_pipeline",
     "save_models",
     "static_agreement",

@@ -4,13 +4,17 @@ Usage::
 
     python -m repro.eval [--quick] [--samples N] [--seed S]
     python -m repro.eval verify [--samples N] [--seed S] [--mode strict|warn]
+    python -m repro.eval profile [--samples N] [--seed S] [--out DIR]
 
 The bare invocation regenerates the paper artifacts (Figure 2, Tables
 III–V, plus the static-agreement table); it is what generated the
 measurements recorded in EXPERIMENTS.md.  The ``verify`` subcommand
 runs only the :mod:`repro.staticcheck` corpus gate: it regenerates the
 synthetic corpus and checks every CFG/ACFG invariant, exiting non-zero
-in strict mode if any is violated.
+in strict mode if any is violated.  The ``profile`` subcommand runs a
+small end-to-end pipeline under :mod:`repro.obs` tracing, prints the
+span tree and aggregated per-span statistics, and writes
+``RUN_MANIFEST.json`` / ``trace.jsonl`` to ``--out``.
 """
 
 from __future__ import annotations
@@ -61,7 +65,61 @@ def parse_args() -> argparse.Namespace:
         action="store_true",
         help="skip the liveness/reachability signals (structure checks only)",
     )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="trace a small end-to-end run and write a RunManifest",
+        description=(
+            "Run corpus→dataset→train→explain→eval under repro.obs "
+            "tracing, print the span tree, write RUN_MANIFEST.json."
+        ),
+    )
+    profile.add_argument("--samples", type=int, default=None, help="graphs per family")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--out", default=".", help="directory for RUN_MANIFEST.json and trace.jsonl"
+    )
+    profile.add_argument(
+        "--explain-graphs", type=int, default=2,
+        help="held-out graphs explained per explainer",
+    )
+    profile.add_argument(
+        "--markdown", action="store_true",
+        help="emit the span tree as fenced markdown (for CI summaries)",
+    )
     return parser.parse_args()
+
+
+def run_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: traced tiny pipeline + manifest."""
+    from dataclasses import replace
+
+    from repro.eval.profile import PROFILE_CONFIG, profile_pipeline
+    from repro.viz import render_span_stats, render_span_tree
+
+    config = replace(
+        PROFILE_CONFIG,
+        seed=args.seed,
+        **({"samples_per_family": args.samples} if args.samples else {}),
+    )
+    print(f"# Profiled run (config: {config})\n")
+    result = profile_pipeline(
+        config, out_dir=args.out, graphs_per_explainer=args.explain_graphs
+    )
+
+    print("## Span tree\n")
+    print(render_span_tree(result.tracer.roots, markdown=args.markdown))
+    print("\n## Aggregated spans\n")
+    print(render_span_stats(result.tracer.aggregate(), markdown=args.markdown))
+    manifest = result.manifest
+    print(
+        f"\nGNN test accuracy {result.gnn_test_accuracy:.3f}; "
+        f"total wall {manifest.total_wall_seconds:.2f}s "
+        f"cpu {manifest.total_cpu_seconds:.2f}s"
+    )
+    print(f"manifest: {result.manifest_path} (fingerprint {manifest.fingerprint()[:12]})")
+    print(f"trace:    {result.trace_path}")
+    return 0
 
 
 def run_verify(args: argparse.Namespace) -> int:
@@ -152,8 +210,11 @@ def run_evaluation(args: argparse.Namespace) -> int:
 
 def main() -> None:
     args = parse_args()
-    if getattr(args, "command", None) == "verify":
+    command = getattr(args, "command", None)
+    if command == "verify":
         sys.exit(run_verify(args))
+    if command == "profile":
+        sys.exit(run_profile(args))
     sys.exit(run_evaluation(args))
 
 

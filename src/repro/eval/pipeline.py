@@ -30,6 +30,7 @@ from repro.gnn import (
 )
 from repro.malgen import generate_corpus
 from repro.malgen.corpus import LabeledSample
+from repro.obs import span as obs_span
 
 __all__ = [
     "ExperimentConfig",
@@ -141,21 +142,30 @@ class PipelineArtifacts:
 def run_pipeline(
     config: ExperimentConfig | None = None, verbose: bool = False
 ) -> PipelineArtifacts:
-    """Run the whole setup stage and return the experiment artifacts."""
+    """Run the whole setup stage and return the experiment artifacts.
+
+    Stage boundaries are traced (``pipeline.corpus`` → ``.dataset`` →
+    ``.train`` → ``.eval`` → ``.explain``) when a
+    :func:`repro.obs.tracing` context is active; untraced runs pay
+    nothing.  ``python -m repro.eval profile`` renders the resulting
+    span tree and writes the :class:`~repro.obs.RunManifest`.
+    """
     config = config or ExperimentConfig()
     rng_seed = config.seed
 
-    corpus = generate_corpus(
-        config.samples_per_family,
-        seed=config.corpus_seed,
-        size_multiplier=config.size_multiplier,
-    )
-    dataset = ACFGDataset.from_corpus(corpus, verify=config.verify_mode)
-    train_raw, test_raw = train_test_split(
-        dataset, config.test_fraction, seed=rng_seed
-    )
-    scaler = FeatureScaler().fit(list(train_raw))
-    train_set, test_set = train_raw.scaled(scaler), test_raw.scaled(scaler)
+    with obs_span("pipeline.corpus"):
+        corpus = generate_corpus(
+            config.samples_per_family,
+            seed=config.corpus_seed,
+            size_multiplier=config.size_multiplier,
+        )
+    with obs_span("pipeline.dataset"):
+        dataset = ACFGDataset.from_corpus(corpus, verify=config.verify_mode)
+        train_raw, test_raw = train_test_split(
+            dataset, config.test_fraction, seed=rng_seed
+        )
+        scaler = FeatureScaler().fit(list(train_raw))
+        train_set, test_set = train_raw.scaled(scaler), test_raw.scaled(scaler)
 
     if verbose:
         print(
@@ -169,60 +179,66 @@ def run_pipeline(
         num_classes=dataset.num_classes,
         rng=np.random.default_rng(rng_seed),
     )
-    train_gnn(
-        gnn,
-        train_set,
-        epochs=config.gnn_epochs,
-        batch_size=config.gnn_batch_size,
-        lr=config.gnn_lr,
-        seed=rng_seed,
-        mode=config.batch_mode,
-        verbose=verbose,
-    )
-    gnn_accuracy = evaluate_accuracy(
-        gnn, test_set, batch_size=config.eval_batch_size
-    )
-    if verbose:
-        print(f"GNN test accuracy: {gnn_accuracy:.3f}")
+    with obs_span("pipeline.train"):
+        train_gnn(
+            gnn,
+            train_set,
+            epochs=config.gnn_epochs,
+            batch_size=config.gnn_batch_size,
+            lr=config.gnn_lr,
+            seed=rng_seed,
+            mode=config.batch_mode,
+            verbose=verbose,
+        )
+    with obs_span("pipeline.eval"):
+        gnn_accuracy = evaluate_accuracy(
+            gnn, test_set, batch_size=config.eval_batch_size
+        )
+        if verbose:
+            print(f"GNN test accuracy: {gnn_accuracy:.3f}")
 
-    # One shared cache of frozen-GNN forwards over both splits: Z and
-    # predictions computed here feed CFGExplainer training, PGExplainer's
-    # offline stage and the Figure 2 / Tables III-IV experiments.
-    embedding_cache = EmbeddingCache(gnn)
-    embedding_cache.populate(train_set, batch_size=config.eval_batch_size)
-    embedding_cache.populate(test_set, batch_size=config.eval_batch_size)
+        # One shared cache of frozen-GNN forwards over both splits: Z and
+        # predictions computed here feed CFGExplainer training,
+        # PGExplainer's offline stage and the Figure 2 / Tables III-IV
+        # experiments.
+        embedding_cache = EmbeddingCache(gnn)
+        embedding_cache.populate(train_set, batch_size=config.eval_batch_size)
+        embedding_cache.populate(test_set, batch_size=config.eval_batch_size)
 
     offline: dict[str, float] = {}
 
-    start = time.perf_counter()
-    theta = CFGExplainerModel(
-        gnn.embedding_size,
-        dataset.num_classes,
-        rng=np.random.default_rng(rng_seed + 1),
-    )
-    train_cfgexplainer(
-        theta,
-        gnn,
-        train_set,
-        num_epochs=config.explainer_epochs,
-        minibatch_size=config.explainer_minibatch,
-        lr=config.explainer_lr,
-        seed=rng_seed,
-        embedding_cache=embedding_cache,
-    )
-    offline["CFGExplainer"] = time.perf_counter() - start
+    with obs_span("pipeline.explain"):
+        with obs_span("pipeline.explain.CFGExplainer"):
+            start = time.perf_counter()
+            theta = CFGExplainerModel(
+                gnn.embedding_size,
+                dataset.num_classes,
+                rng=np.random.default_rng(rng_seed + 1),
+            )
+            train_cfgexplainer(
+                theta,
+                gnn,
+                train_set,
+                num_epochs=config.explainer_epochs,
+                minibatch_size=config.explainer_minibatch,
+                lr=config.explainer_lr,
+                seed=rng_seed,
+                embedding_cache=embedding_cache,
+            )
+            offline["CFGExplainer"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    pg = PGExplainerBaseline(
-        gnn,
-        epochs=config.pgexplainer_epochs,
-        seed=rng_seed,
-        embedding_cache=embedding_cache,
-    )
-    pg.fit(train_set)
-    offline["PGExplainer"] = time.perf_counter() - start
-    offline["GNNExplainer"] = 0.0  # local method: no offline stage
-    offline["SubgraphX"] = 0.0
+        with obs_span("pipeline.explain.PGExplainer"):
+            start = time.perf_counter()
+            pg = PGExplainerBaseline(
+                gnn,
+                epochs=config.pgexplainer_epochs,
+                seed=rng_seed,
+                embedding_cache=embedding_cache,
+            )
+            pg.fit(train_set)
+            offline["PGExplainer"] = time.perf_counter() - start
+        offline["GNNExplainer"] = 0.0  # local method: no offline stage
+        offline["SubgraphX"] = 0.0
 
     explainers: dict[str, Explainer] = {
         "CFGExplainer": CFGExplainer(gnn, theta, embedding_cache=embedding_cache),

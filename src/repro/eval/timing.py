@@ -1,4 +1,9 @@
-"""Table IV — explanation-time measurement."""
+"""Table IV — explanation-time measurement.
+
+Built on :mod:`repro.obs`: each per-explainer sweep runs inside a
+``timing.<name>`` span, so a traced evaluation shows Table IV's cost
+structure in the same tree as the rest of the pipeline.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +14,7 @@ import numpy as np
 
 from repro.acfg.graph import ACFG
 from repro.explain.base import Explainer
+from repro.obs import span as obs_span
 
 __all__ = ["ExplainerTiming", "measure_timings"]
 
@@ -42,10 +48,12 @@ def measure_timings(
     results = []
     for name, explainer in explainers.items():
         durations = []
-        for graph in graphs:
-            start = time.perf_counter()
-            explainer.explain(graph, step_size)
-            durations.append(time.perf_counter() - start)
+        with obs_span(f"timing.{name}") as timing_span:
+            for graph in graphs:
+                start = time.perf_counter()
+                explainer.explain(graph, step_size)
+                durations.append(time.perf_counter() - start)
+            timing_span.add("timing.graphs", len(graphs))
         durations = np.asarray(durations)
         results.append(
             ExplainerTiming(

@@ -20,6 +20,7 @@ import numpy as np
 from repro.acfg.graph import ACFG
 from repro.explain.explanation import Explanation, SubgraphLevel
 from repro.gnn.model import GCNClassifier
+from repro.obs import span as obs_span
 
 __all__ = ["Explainer", "RankingExplainer", "ladder_from_order", "level_fractions"]
 
@@ -84,12 +85,14 @@ class RankingExplainer(Explainer):
 
     def explain(self, graph: ACFG, step_size: int = 10) -> Explanation:
         self._empty_graph_explanation(graph)
-        node_order, node_scores = self.rank_nodes(graph)
-        return Explanation(
-            graph=graph,
-            explainer_name=self.name,
-            predicted_class=self.model.predict(graph),
-            node_order=node_order,
-            levels=ladder_from_order(graph, node_order, step_size),
-            node_scores=node_scores,
-        )
+        with obs_span(f"explain.{self.name}") as explain_span:
+            node_order, node_scores = self.rank_nodes(graph)
+            explain_span.add("explain.graphs", 1)
+            return Explanation(
+                graph=graph,
+                explainer_name=self.name,
+                predicted_class=self.model.predict(graph),
+                node_order=node_order,
+                levels=ladder_from_order(graph, node_order, step_size),
+                node_scores=node_scores,
+            )

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.gnn.normalize import normalized_adjacency
 from repro.nn.sparse import CSRMatrix
+from repro.obs import add_counter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.acfg.dataset import ACFGDataset
@@ -97,9 +98,11 @@ class AHatCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            add_counter("cache.a_hat.hits")
             self._entries.move_to_end(key)
             return entry
         self.misses += 1
+        add_counter("cache.a_hat.misses")
         entry = _AHatEntry(normalized_adjacency(adjacency, mask))
         self._entries[key] = entry
         while len(self._entries) > self.maxsize:
@@ -207,6 +210,7 @@ class EmbeddingCache:
         entry = self._entries.get(self._key(graph))
         if entry is not None:
             self.hits += 1
+            add_counter("cache.embedding.hits")
         return entry
 
     def forward(self, graph: "ACFG") -> CachedForward:
@@ -215,8 +219,10 @@ class EmbeddingCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            add_counter("cache.embedding.hits")
             return entry
         self.misses += 1
+        add_counter("cache.embedding.misses")
         self.populate([graph], batch_size=1)
         return self._entries[key]
 

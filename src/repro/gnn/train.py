@@ -26,6 +26,7 @@ from repro.acfg.dataset import ACFGDataset
 from repro.gnn.batch import BatchPacker, GraphBatch
 from repro.gnn.model import GCNClassifier
 from repro.nn import Adam, cross_entropy, cross_entropy_batch
+from repro.obs import span as obs_span
 
 __all__ = ["TrainingHistory", "train_gnn", "evaluate_accuracy"]
 
@@ -75,22 +76,28 @@ def train_gnn(
         else None
     )
 
-    for epoch in range(epochs):
-        order = rng.permutation(len(train_set))
-        epoch_loss = 0.0
-        if packer is not None:
-            for batch in packer.batches(batch_size, order=order):
-                epoch_loss += _batched_step(model, optimizer, batch)
-        else:
-            for start in range(0, len(order), batch_size):
-                indices = order[start : start + batch_size]
-                epoch_loss += _per_graph_step(model, optimizer, train_set, indices)
-        history.losses.append(epoch_loss / len(order))
-        if eval_set is not None:
-            history.accuracies.append(evaluate_accuracy(model, eval_set))
-        if verbose:
-            acc = f" acc={history.accuracies[-1]:.3f}" if eval_set else ""
-            print(f"epoch {epoch + 1:3d}  loss={history.losses[-1]:.4f}{acc}")
+    with obs_span(f"train.gnn.{mode}") as train_span:
+        for epoch in range(epochs):
+            order = rng.permutation(len(train_set))
+            epoch_loss = 0.0
+            with obs_span("train.epoch") as epoch_span:
+                if packer is not None:
+                    for batch in packer.batches(batch_size, order=order):
+                        epoch_loss += _batched_step(model, optimizer, batch)
+                else:
+                    for start in range(0, len(order), batch_size):
+                        indices = order[start : start + batch_size]
+                        epoch_loss += _per_graph_step(
+                            model, optimizer, train_set, indices
+                        )
+                epoch_span.add("train.graphs", len(order))
+            history.losses.append(epoch_loss / len(order))
+            if eval_set is not None:
+                history.accuracies.append(evaluate_accuracy(model, eval_set))
+            if verbose:
+                acc = f" acc={history.accuracies[-1]:.3f}" if eval_set else ""
+                print(f"epoch {epoch + 1:3d}  loss={history.losses[-1]:.4f}{acc}")
+        train_span.add("train.epochs", epochs)
     return history
 
 
@@ -135,9 +142,11 @@ def evaluate_accuracy(
     one dense forward per graph (models without the batched engine fall
     back to per-graph prediction).
     """
-    if hasattr(model, "predict_batch"):
-        predictions = model.predict_batch(list(dataset), batch_size=batch_size)
-    else:
-        predictions = np.array([model.predict(g) for g in dataset], dtype=int)
-    labels = np.array([g.label for g in dataset], dtype=int)
-    return float((predictions == labels).mean())
+    with obs_span("eval.accuracy") as eval_span:
+        if hasattr(model, "predict_batch"):
+            predictions = model.predict_batch(list(dataset), batch_size=batch_size)
+        else:
+            predictions = np.array([model.predict(g) for g in dataset], dtype=int)
+        labels = np.array([g.label for g in dataset], dtype=int)
+        eval_span.add("eval.graphs", len(labels))
+        return float((predictions == labels).mean())

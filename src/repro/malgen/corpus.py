@@ -8,6 +8,8 @@ from repro.disasm.cfg import CFG, build_cfg
 from repro.disasm.program import Program
 from repro.malgen.families import FAMILIES, generate_program
 from repro.malgen.motifs import GENERIC_MOTIFS, MotifSpan
+from repro.obs import add_counter
+from repro.obs import span as obs_span
 
 __all__ = ["LabeledSample", "generate_corpus", "block_motif_tags"]
 
@@ -63,19 +65,22 @@ def generate_corpus(
     if samples_per_family <= 0:
         raise ValueError("samples_per_family must be positive")
     corpus: list[LabeledSample] = []
-    for label, family in enumerate(families):
-        for i in range(samples_per_family):
-            program_seed = seed * 100_000 + label * 1_000 + i
-            program, spans = generate_program(family, program_seed, size_multiplier)
-            cfg = build_cfg(program)
-            corpus.append(
-                LabeledSample(
-                    program=program,
-                    cfg=cfg,
-                    family=family,
-                    label=label,
-                    motif_spans=spans,
-                    block_tags=block_motif_tags(cfg, spans),
+    with obs_span("corpus.generate"):
+        for label, family in enumerate(families):
+            for i in range(samples_per_family):
+                program_seed = seed * 100_000 + label * 1_000 + i
+                program, spans = generate_program(family, program_seed, size_multiplier)
+                cfg = build_cfg(program)
+                corpus.append(
+                    LabeledSample(
+                        program=program,
+                        cfg=cfg,
+                        family=family,
+                        label=label,
+                        motif_spans=spans,
+                        block_tags=block_motif_tags(cfg, spans),
+                    )
                 )
-            )
+        add_counter("corpus.graphs", len(corpus))
+        add_counter("corpus.blocks", sum(len(s.cfg.blocks) for s in corpus))
     return corpus

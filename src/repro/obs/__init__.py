@@ -1,0 +1,49 @@
+"""Observability: span tracing, process-wide metrics, run manifests.
+
+Three pieces, designed to stay out of the hot path unless asked for:
+
+* :mod:`repro.obs.trace` — nested :func:`span` context managers with
+  wall/CPU timing and per-span counters, recorded by a per-run
+  :class:`Tracer` (installed with :func:`tracing`) and optionally
+  mirrored to a JSONL sink.  With no tracer active, ``span()`` is a
+  shared no-op.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of named counters (cache hits/misses, graphs trained, explainer
+  iterations) that instrumented modules increment unconditionally.
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, the identity
+  (seed, config, git SHA, platform, package versions) and cost
+  (aggregated span statistics, counter deltas) record of one run.
+
+``python -m repro.eval profile`` ties them together; see
+DESIGN.md §Observability for the span taxonomy and manifest schema.
+"""
+
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
+from repro.obs.metrics import MetricsRegistry, metrics_registry
+from repro.obs.trace import (
+    Span,
+    SpanStats,
+    Tracer,
+    add_counter,
+    current_span,
+    get_tracer,
+    iter_spans,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "add_counter",
+    "current_span",
+    "get_tracer",
+    "iter_spans",
+    "metrics_registry",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,180 @@
+"""Run manifests: what ran, on what, and where the time went.
+
+A :class:`RunManifest` is captured at pipeline start — seed, the full
+``ExperimentConfig`` snapshot, git SHA, platform, and the versions of
+the numeric packages — and *finalized* at pipeline end with the
+tracer's aggregated span statistics and counter deltas.  Written next
+to the evaluation artifacts it makes a run reproducible (the inputs)
+and auditable (the per-stage costs), the property arXiv:2504.16316
+identifies as the precondition for trusting explainer comparisons.
+
+The identity fields are deterministic: :meth:`RunManifest.fingerprint`
+hashes everything except wall-clock values, so two runs of the same
+config on the same checkout produce the same fingerprint even though
+their timings differ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.trace import Tracer
+
+__all__ = ["RunManifest", "MANIFEST_SCHEMA_VERSION"]
+
+#: Bumped whenever the serialized layout changes shape.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Packages whose versions materially affect numeric results.
+_TRACKED_PACKAGES = ("numpy", "scipy", "networkx")
+
+
+def _git_sha() -> str | None:
+    """HEAD of the repository containing this file, if git is usable."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def _package_versions() -> dict[str, str]:
+    from importlib import metadata
+
+    versions: dict[str, str] = {}
+    for name in _TRACKED_PACKAGES:
+        try:
+            versions[name] = metadata.version(name)
+        except metadata.PackageNotFoundError:
+            continue
+    return versions
+
+
+def _config_snapshot(config: Any) -> dict | None:
+    """A JSON-ready dump of an ``ExperimentConfig`` (or any dataclass)."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        raw = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        raw = dict(config)
+    else:
+        raise TypeError(f"config must be a dataclass or dict, got {type(config)}")
+    return json.loads(json.dumps(raw, default=_jsonable))
+
+
+def _jsonable(value: Any):
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, Path):
+        return str(value)
+    return str(value)
+
+
+@dataclass
+class RunManifest:
+    """Identity + cost record of one pipeline run."""
+
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    created_at: str = ""
+    seed: int | None = None
+    config: dict | None = None
+    git_sha: str | None = None
+    platform: dict = field(default_factory=dict)
+    packages: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    # filled by finalize():
+    total_wall_seconds: float | None = None
+    total_cpu_seconds: float | None = None
+    span_stats: dict = field(default_factory=dict)
+    span_tree: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        config: Any = None,
+        seed: int | None = None,
+        extra: dict | None = None,
+    ) -> "RunManifest":
+        """Snapshot the run identity at pipeline start."""
+        import datetime
+
+        snapshot = _config_snapshot(config)
+        if seed is None and snapshot is not None:
+            seed = snapshot.get("seed")
+        return cls(
+            created_at=datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            seed=seed,
+            config=snapshot,
+            git_sha=_git_sha(),
+            platform={
+                "python": sys.version.split()[0],
+                "implementation": platform.python_implementation(),
+                "system": platform.system(),
+                "machine": platform.machine(),
+            },
+            packages=_package_versions(),
+            extra=dict(extra or {}),
+        )
+
+    def finalize(self, tracer: "Tracer") -> "RunManifest":
+        """Fold a tracer's recorded spans and counters into the manifest."""
+        self.span_stats = {
+            name: stats.to_dict() for name, stats in sorted(tracer.aggregate().items())
+        }
+        self.span_tree = [root.to_dict() for root in tracer.roots]
+        self.metrics = tracer.metrics_delta()
+        self.total_wall_seconds = sum(r.wall_seconds for r in tracer.roots)
+        self.total_cpu_seconds = sum(r.cpu_seconds for r in tracer.roots)
+        return self
+
+    # ------------------------------------------------------------------
+    # identity / serialization
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 over the deterministic identity fields only."""
+        identity = {
+            "schema_version": self.schema_version,
+            "seed": self.seed,
+            "config": self.config,
+            "git_sha": self.git_sha,
+            "platform": self.platform,
+            "packages": self.packages,
+            "extra": self.extra,
+        }
+        payload = json.dumps(identity, sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["fingerprint"] = self.fingerprint()
+        return out
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        data = json.loads(Path(path).read_text())
+        data.pop("fingerprint", None)
+        return cls(**data)

@@ -1,0 +1,68 @@
+"""Process-wide named counters.
+
+A :class:`MetricsRegistry` is a flat ``name -> float`` accumulator.
+One process-wide instance (:func:`metrics_registry`) collects counts
+from anywhere in the library — cache hits and misses, graphs pushed
+through training, explainer iterations — without requiring a tracer to
+be active.  The tracing layer snapshots it at run start and records the
+delta in the :class:`~repro.obs.manifest.RunManifest`, so counters
+accumulated by unrelated earlier work in the same process never leak
+into a run's report.
+
+Increments are a dict update guarded by a lock — cheap enough to leave
+permanently enabled on paths that do real numerical work per call.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetricsRegistry", "metrics_registry"]
+
+
+class MetricsRegistry:
+    """A named-counter accumulator, safe for concurrent increments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def get(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def delta_since(self, baseline: dict[str, float]) -> dict[str, float]:
+        """Counter increases since ``baseline`` (a prior snapshot)."""
+        current = self.snapshot()
+        out: dict[str, float] = {}
+        for name, value in current.items():
+            diff = value - baseline.get(name, 0.0)
+            if diff != 0.0:
+                out[name] = diff
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters)
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented module reports to."""
+    return _GLOBAL

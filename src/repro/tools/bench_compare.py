@@ -1,0 +1,261 @@
+"""Benchmark-regression gate: current ``BENCH_*.json`` vs baselines.
+
+Committed reference numbers live in ``benchmarks/baselines/``; each
+benchmark run writes fresh ``BENCH_*.json`` artifacts (to the repo root
+or to ``$REPRO_BENCH_DIR``).  This tool pairs the two sets, extracts
+every numeric leaf, applies per-metric relative thresholds to the
+*gated* metrics, prints a delta table, and exits non-zero when any
+gated metric regressed past its threshold — the CI contract that keeps
+the batched engine's measured speedups from silently rotting.
+
+Gating policy: wall-clock ``seconds`` are noisy across runners, so the
+gates watch the scale-free throughput metrics — ``*.graphs_per_sec``
+and ``*.speedup`` — with a generous default threshold (30 % relative).
+Everything else is reported informationally.
+
+Usage::
+
+    python -m repro.tools.bench_compare [--current DIR] [--baselines DIR]
+                                        [--threshold F] [--allow-missing]
+
+Exit codes: 0 ok, 1 regression (or missing current artifact), 2 usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "MetricDelta",
+    "MetricPolicy",
+    "compare_benchmarks",
+    "compare_directories",
+    "extract_metrics",
+    "format_delta_table",
+    "main",
+]
+
+BASELINE_DIR_NAME = Path("benchmarks") / "baselines"
+
+#: Environment variable redirecting where benchmarks write BENCH_*.json.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one family of metrics is gated.
+
+    ``pattern`` is an ``fnmatch`` glob over the dotted metric path
+    (``training.batched.graphs_per_sec``).  ``direction`` names the
+    good direction; ``threshold`` is the tolerated relative move in
+    the bad direction before the gate fails.
+    """
+
+    pattern: str
+    direction: str  # "higher" | "lower"
+    threshold: float
+
+    def matches(self, path: str) -> bool:
+        return fnmatch.fnmatch(path, self.pattern)
+
+
+DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
+    MetricPolicy("*graphs_per_sec", "higher", 0.30),
+    MetricPolicy("*speedup", "higher", 0.30),
+)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One baseline/current metric pair and its verdict."""
+
+    file: str
+    path: str
+    baseline: float
+    current: float | None
+    status: str  # "ok" | "regressed" | "info" | "missing"
+    rel_change: float | None = None
+    threshold: float | None = None
+
+
+def extract_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten a benchmark JSON into dotted-path -> numeric leaves."""
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(extract_metrics(value, path))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def compare_benchmarks(
+    baseline: dict,
+    current: dict | None,
+    file: str = "",
+    policies: tuple[MetricPolicy, ...] = DEFAULT_POLICIES,
+) -> list[MetricDelta]:
+    """Judge every baseline metric against the current run."""
+    base_metrics = extract_metrics(baseline)
+    cur_metrics = extract_metrics(current) if current is not None else {}
+    deltas: list[MetricDelta] = []
+    for path, base_value in sorted(base_metrics.items()):
+        policy = next((p for p in policies if p.matches(path)), None)
+        cur_value = cur_metrics.get(path)
+        if cur_value is None:
+            deltas.append(
+                MetricDelta(file, path, base_value, None, "missing",
+                            threshold=policy.threshold if policy else None)
+            )
+            continue
+        rel = (cur_value - base_value) / base_value if base_value else 0.0
+        if policy is None:
+            deltas.append(MetricDelta(file, path, base_value, cur_value, "info", rel))
+            continue
+        bad_move = -rel if policy.direction == "higher" else rel
+        status = "regressed" if bad_move > policy.threshold else "ok"
+        deltas.append(
+            MetricDelta(file, path, base_value, cur_value, status, rel,
+                        policy.threshold)
+        )
+    return deltas
+
+
+def format_delta_table(deltas: list[MetricDelta]) -> str:
+    """A readable per-metric verdict table."""
+    header = (
+        f"{'metric':<56} {'baseline':>12} {'current':>12} "
+        f"{'change':>9} {'status':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for d in deltas:
+        metric = f"{d.file}:{d.path}" if d.file else d.path
+        current = f"{d.current:,.2f}" if d.current is not None else "—"
+        change = f"{d.rel_change:+.1%}" if d.rel_change is not None else "—"
+        status = d.status.upper() if d.status in ("regressed", "missing") else d.status
+        lines.append(
+            f"{metric:<56} {d.baseline:>12,.2f} {current:>12} "
+            f"{change:>9} {status:>10}"
+        )
+    return "\n".join(lines)
+
+
+def _repo_root() -> Path:
+    here = Path(__file__).resolve()
+    for candidate in here.parents:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path.cwd()
+
+
+def default_bench_dir() -> Path:
+    """Where benchmarks write artifacts: $REPRO_BENCH_DIR or repo root."""
+    override = os.environ.get(BENCH_DIR_ENV)
+    return Path(override) if override else _repo_root()
+
+
+def compare_directories(
+    baseline_dir: str | Path,
+    current_dir: str | Path,
+    policies: tuple[MetricPolicy, ...] = DEFAULT_POLICIES,
+    allow_missing: bool = False,
+) -> tuple[list[MetricDelta], bool]:
+    """Compare every committed baseline file against the current run.
+
+    Returns ``(deltas, ok)``.  A baseline without a current
+    counterpart fails the gate (the artifact disappearing is exactly
+    the silent rot the gate exists to catch) unless ``allow_missing``.
+    """
+    baseline_dir, current_dir = Path(baseline_dir), Path(current_dir)
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        raise FileNotFoundError(f"no BENCH_*.json baselines in {baseline_dir}")
+    deltas: list[MetricDelta] = []
+    for baseline_file in baseline_files:
+        baseline = json.loads(baseline_file.read_text())
+        current_file = current_dir / baseline_file.name
+        current = (
+            json.loads(current_file.read_text()) if current_file.is_file() else None
+        )
+        deltas.extend(
+            compare_benchmarks(baseline, current, baseline_file.name, policies)
+        )
+    failing = [
+        d for d in deltas
+        if d.status == "regressed" or (d.status == "missing" and not allow_missing)
+    ]
+    return deltas, not failing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--baselines",
+        default=None,
+        help="baseline directory (default: <repo>/benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        help=f"current artifact directory (default: ${BENCH_DIR_ENV} or repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="override the relative regression threshold for every gated metric",
+    )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="missing current artifacts only warn instead of failing",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = Path(args.baselines) if args.baselines else _repo_root() / BASELINE_DIR_NAME
+    current = Path(args.current) if args.current else default_bench_dir()
+    policies = DEFAULT_POLICIES
+    if args.threshold is not None:
+        if args.threshold <= 0:
+            print("error: --threshold must be positive", file=sys.stderr)
+            return 2
+        policies = tuple(
+            MetricPolicy(p.pattern, p.direction, args.threshold) for p in policies
+        )
+
+    try:
+        deltas, ok = compare_directories(
+            baselines, current, policies, allow_missing=args.allow_missing
+        )
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"# Benchmark comparison: {current} vs baselines in {baselines}\n")
+    print(format_delta_table(deltas))
+    regressed = [d for d in deltas if d.status == "regressed"]
+    missing = [d for d in deltas if d.status == "missing"]
+    print()
+    if regressed:
+        print(f"FAILED: {len(regressed)} metric(s) regressed past threshold")
+    if missing:
+        print(f"{'warning' if args.allow_missing else 'FAILED'}: "
+              f"{len(missing)} baseline metric(s) have no current value")
+    if ok:
+        print("OK: no gated regressions")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,11 +17,16 @@ in order and the exit code is non-zero if any of them fails:
 4. A batching smoke test: the block-diagonal batched engine must match
    the per-graph dense path to 1e-8 (logits and embeddings) on a tiny
    corpus — the core equivalence the batched pipeline rests on.
+5. With ``--profile``, an observability smoke test: a tiny traced
+   pipeline run must emit a well-formed ``RUN_MANIFEST.json`` whose
+   span tree covers every stage with nonzero timings.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib.util
+import json
 import os
 import subprocess
 import sys
@@ -107,8 +112,69 @@ def _run_batching_smoke(samples: int, seed: int, tolerance: float = 1e-8) -> boo
     return ok
 
 
+def _run_profile_smoke() -> bool:
+    """A tiny traced run must produce a coherent manifest and spans."""
+    import tempfile
+    from dataclasses import replace
+
+    from repro.eval.profile import PROFILE_CONFIG, profile_pipeline
+
+    config = replace(
+        PROFILE_CONFIG,
+        samples_per_family=2,
+        gnn_epochs=8,
+        explainer_epochs=10,
+        gnnexplainer_epochs=3,
+        pgexplainer_epochs=2,
+        subgraphx_iterations=4,
+        subgraphx_shapley_samples=1,
+    )
+    required_stages = (
+        "pipeline.corpus",
+        "pipeline.dataset",
+        "pipeline.train",
+        "pipeline.eval",
+        "pipeline.explain",
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        result = profile_pipeline(config, out_dir=tmp, graphs_per_explainer=1)
+        data = json.loads(result.manifest_path.read_text())
+    stats = data["span_stats"]
+    missing = [s for s in required_stages if s not in stats]
+    zero = [s for s in required_stages if s in stats and stats[s]["wall_seconds"] <= 0]
+    roots = data["span_tree"]
+    consistent = (
+        len(roots) == 1
+        and roots[0]["wall_seconds"] > 0
+        and sum(c["wall_seconds"] for c in roots[0].get("children", []))
+        <= roots[0]["wall_seconds"]
+    )
+    ok = not missing and not zero and consistent and data.get("fingerprint")
+    status = "ok" if ok else "FAILED"
+    detail = ""
+    if missing:
+        detail = f" missing stages: {missing}"
+    if zero:
+        detail += f" zero-time stages: {zero}"
+    if not consistent:
+        detail += " inconsistent root span"
+    print(
+        f"[check] profile smoke: {len(stats)} span names, "
+        f"root wall {roots[0]['wall_seconds']:.2f}s ({status}){detail}"
+    )
+    return bool(ok)
+
+
 def main(argv: list[str] | None = None) -> int:
-    del argv  # no options yet; kept for entry-point compatibility
+    parser = argparse.ArgumentParser(
+        description="One-shot repository health check."
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run the observability smoke gate (traced tiny pipeline)",
+    )
+    args = parser.parse_args(argv)
     root = _repo_root()
     results: dict[str, bool | str] = {}
 
@@ -119,6 +185,8 @@ def main(argv: list[str] | None = None) -> int:
         samples=3, seed=0
     )
     results["batching smoke"] = _run_batching_smoke(samples=2, seed=0)
+    if args.profile:
+        results["profile smoke"] = _run_profile_smoke()
 
     print("\n[check] summary")
     failed = False

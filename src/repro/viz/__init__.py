@@ -1,6 +1,7 @@
-"""Rendering explanations for human analysts (DOT export, text views)."""
+"""Rendering explanations and traces for human analysts."""
 
 from repro.viz.dot import cfg_to_dot, explanation_to_dot
+from repro.viz.spans import render_span_stats, render_span_tree
 from repro.viz.text import render_block_listing, render_importance_bars
 
 __all__ = [
@@ -8,4 +9,6 @@ __all__ = [
     "cfg_to_dot",
     "render_block_listing",
     "render_importance_bars",
+    "render_span_stats",
+    "render_span_tree",
 ]

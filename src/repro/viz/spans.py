@@ -1,0 +1,71 @@
+"""Terminal and markdown renderings of recorded span trees."""
+
+from __future__ import annotations
+
+from repro.obs.trace import Span, SpanStats
+
+__all__ = ["render_span_tree", "render_span_stats"]
+
+
+def _format_counters(counters: dict[str, float]) -> str:
+    if not counters:
+        return ""
+    parts = []
+    for name, value in sorted(counters.items()):
+        if float(value).is_integer():
+            parts.append(f"{name}={int(value)}")
+        else:
+            parts.append(f"{name}={value:.3g}")
+    return "  [" + ", ".join(parts) + "]"
+
+
+def render_span_tree(
+    roots: list[Span] | Span,
+    markdown: bool = False,
+    max_depth: int | None = None,
+) -> str:
+    """An indented tree of spans with wall/CPU time and counters.
+
+    With ``markdown=True`` the tree is emitted as a fenced code block
+    so it pastes cleanly into CI summaries and issues.  ``max_depth``
+    truncates the tree (0 = roots only).
+    """
+    if isinstance(roots, Span):
+        roots = [roots]
+    lines: list[str] = []
+
+    def visit(node: Span, prefix: str, is_last: bool, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        connector = "" if not prefix and depth == 0 else ("└─ " if is_last else "├─ ")
+        flag = "" if node.status == "ok" else f"  !{node.status}"
+        lines.append(
+            f"{prefix}{connector}{node.name}  "
+            f"wall={node.wall_seconds:.3f}s cpu={node.cpu_seconds:.3f}s"
+            f"{_format_counters(node.counters)}{flag}"
+        )
+        child_prefix = prefix + ("" if depth == 0 else ("   " if is_last else "│  "))
+        for i, child in enumerate(node.children):
+            visit(child, child_prefix, i == len(node.children) - 1, depth + 1)
+
+    for root in roots:
+        visit(root, "", True, 0)
+    body = "\n".join(lines)
+    return f"```\n{body}\n```" if markdown else body
+
+
+def render_span_stats(
+    stats: dict[str, SpanStats], markdown: bool = False
+) -> str:
+    """Aggregated per-name statistics, sorted by total wall time."""
+    ordered = sorted(stats.values(), key=lambda s: s.wall_seconds, reverse=True)
+    header = f"{'span':<36} {'count':>6} {'total s':>9} {'mean s':>9} {'cpu s':>9}"
+    rule = "-" * len(header)
+    rows = [header, rule]
+    for entry in ordered:
+        rows.append(
+            f"{entry.name:<36} {entry.count:>6} {entry.wall_seconds:>9.3f} "
+            f"{entry.mean_wall_seconds:>9.4f} {entry.cpu_seconds:>9.3f}"
+        )
+    body = "\n".join(rows)
+    return f"```\n{body}\n```" if markdown else body

@@ -1,0 +1,349 @@
+"""Observability layer: spans, metrics, manifests, bench_compare."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    add_counter,
+    current_span,
+    get_tracer,
+    iter_spans,
+    metrics_registry,
+    span,
+    tracing,
+)
+from repro.tools.bench_compare import (
+    DEFAULT_POLICIES,
+    MetricPolicy,
+    compare_benchmarks,
+    compare_directories,
+    default_bench_dir,
+    extract_metrics,
+    format_delta_table,
+)
+from repro.viz import render_span_stats, render_span_tree
+
+
+# ----------------------------------------------------------------------
+# tracing core
+# ----------------------------------------------------------------------
+def test_span_nesting_records_tree():
+    with tracing() as tracer:
+        with span("root"):
+            with span("child.a"):
+                with span("grand"):
+                    pass
+            with span("child.b"):
+                pass
+    assert [r.name for r in tracer.roots] == ["root"]
+    root = tracer.roots[0]
+    assert [c.name for c in root.children] == ["child.a", "child.b"]
+    assert root.children[0].children[0].name == "grand"
+    assert root.children[0].depth == 1
+    assert all(s.status == "ok" for s in iter_spans(tracer.roots))
+    # Wall clocks nest: a parent covers at least its children.
+    assert root.wall_seconds >= sum(c.wall_seconds for c in root.children)
+
+
+def test_span_exception_safety():
+    with tracing() as tracer:
+        with pytest.raises(ValueError, match="boom"):
+            with span("outer"):
+                with span("inner"):
+                    raise ValueError("boom")
+        # The stack unwound fully; the tracer is still usable.
+        assert tracer.current() is None
+        with span("after"):
+            pass
+    names = {s.name: s for s in iter_spans(tracer.roots)}
+    assert names["inner"].status == "error"
+    assert "ValueError: boom" in names["inner"].error
+    assert names["outer"].status == "error"
+    assert names["after"].status == "ok"
+
+
+def test_span_noop_without_tracer():
+    assert get_tracer() is None
+    assert current_span() is None
+    noop = span("anything")
+    with noop as handle:
+        handle.add("counter", 1)  # must not raise
+    # The shared null span is reused — no allocation per call site.
+    assert span("other") is noop
+
+
+def test_nested_tracing_rejected():
+    with tracing():
+        with pytest.raises(RuntimeError, match="already active"):
+            with tracing():
+                pass
+
+
+def test_counter_aggregation_and_metrics_delta():
+    registry = MetricsRegistry()
+    with tracing(metrics=registry) as tracer:
+        with span("work") as outer:
+            outer.add("items", 2)
+            with span("work"):
+                add_counter("hits", 3)
+            with span("other"):
+                add_counter("hits", 1)
+    stats = tracer.aggregate()
+    assert stats["work"].count == 2
+    assert stats["work"].counters["items"] == 2
+    assert stats["work"].counters["hits"] == 3  # credited to the inner span
+    assert stats["other"].counters["hits"] == 1
+    assert tracer.metrics_delta() == {"hits": 4.0}
+
+
+def test_add_counter_without_tracer_hits_global_registry():
+    before = metrics_registry().get("test_obs.global")
+    add_counter("test_obs.global", 5)
+    assert metrics_registry().get("test_obs.global") == before + 5
+
+
+def test_jsonl_sink(tmp_path):
+    sink = tmp_path / "trace.jsonl"
+    with tracing(sink=sink, metrics=MetricsRegistry()):
+        with span("a"):
+            with span("b") as inner:
+                inner.add("n", 1)
+    events = [json.loads(line) for line in sink.read_text().splitlines()]
+    assert [e["type"] for e in events] == ["span", "span", "metrics"]
+    # Spans are emitted on close: innermost first.
+    assert [e["name"] for e in events[:2]] == ["b", "a"]
+    assert events[0]["counters"] == {"n": 1}
+    assert all("children" not in e for e in events)
+
+
+def test_render_span_tree_and_stats():
+    with tracing() as tracer:
+        with span("run"):
+            with span("stage") as stage:
+                stage.add("graphs", 7)
+    tree = render_span_tree(tracer.roots)
+    assert "run" in tree and "stage" in tree and "graphs=7" in tree
+    assert "wall=" in tree and "cpu=" in tree
+    md = render_span_tree(tracer.roots, markdown=True)
+    assert md.startswith("```") and md.endswith("```")
+    stats = render_span_stats(tracer.aggregate())
+    assert "run" in stats and "count" in stats
+
+
+# ----------------------------------------------------------------------
+# run manifests
+# ----------------------------------------------------------------------
+def _config(seed=0):
+    from repro.eval import ExperimentConfig
+
+    return ExperimentConfig(samples_per_family=2, seed=seed)
+
+
+def test_manifest_determinism_fixed_seed():
+    a = RunManifest.capture(config=_config(seed=3))
+    b = RunManifest.capture(config=_config(seed=3))
+    assert a.seed == 3  # picked up from the config snapshot
+    assert a.fingerprint() == b.fingerprint()
+    c = RunManifest.capture(config=_config(seed=4))
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_manifest_fingerprint_ignores_timings():
+    manifest = RunManifest.capture(config=_config())
+    before = manifest.fingerprint()
+    with tracing(metrics=MetricsRegistry()) as tracer:
+        with span("run"):
+            pass
+    manifest.finalize(tracer)
+    assert manifest.fingerprint() == before
+
+
+def test_manifest_finalize_consistent_with_root(tmp_path):
+    with tracing(metrics=MetricsRegistry()) as tracer:
+        with span("run"):
+            with span("stage.a"):
+                pass
+            with span("stage.b"):
+                pass
+    manifest = RunManifest.capture(config=_config()).finalize(tracer)
+    assert manifest.total_wall_seconds == tracer.roots[0].wall_seconds
+    children_wall = sum(
+        c["wall_seconds"] for c in manifest.span_tree[0]["children"]
+    )
+    assert children_wall <= manifest.total_wall_seconds
+    assert set(manifest.span_stats) == {"run", "stage.a", "stage.b"}
+
+    path = manifest.write(tmp_path / "RUN_MANIFEST.json")
+    data = json.loads(path.read_text())
+    assert data["fingerprint"] == manifest.fingerprint()
+    loaded = RunManifest.load(path)
+    assert loaded.fingerprint() == manifest.fingerprint()
+    assert loaded.span_stats == manifest.span_stats
+
+
+def test_manifest_captures_identity():
+    manifest = RunManifest.capture(config=_config())
+    assert manifest.platform["python"]
+    assert "numpy" in manifest.packages
+    assert manifest.config["samples_per_family"] == 2
+
+
+# ----------------------------------------------------------------------
+# bench_compare
+# ----------------------------------------------------------------------
+BASELINE = {
+    "training": {
+        "batched": {"graphs_per_sec": 300.0, "seconds": 2.0},
+        "speedup": 4.0,
+    },
+    "accuracy": 0.5,
+}
+
+
+def test_extract_metrics_flattens():
+    metrics = extract_metrics(BASELINE)
+    assert metrics["training.batched.graphs_per_sec"] == 300.0
+    assert metrics["training.speedup"] == 4.0
+    assert metrics["accuracy"] == 0.5
+
+
+def test_compare_ok_and_info():
+    current = json.loads(json.dumps(BASELINE))
+    current["training"]["batched"]["seconds"] = 10.0  # ungated: info only
+    deltas = compare_benchmarks(BASELINE, current)
+    by_path = {d.path: d for d in deltas}
+    assert by_path["training.batched.graphs_per_sec"].status == "ok"
+    assert by_path["training.speedup"].status == "ok"
+    assert by_path["training.batched.seconds"].status == "info"
+    assert all(d.status != "regressed" for d in deltas)
+
+
+def test_compare_detects_regression_and_improvement():
+    current = json.loads(json.dumps(BASELINE))
+    current["training"]["batched"]["graphs_per_sec"] = 150.0  # -50%
+    current["training"]["speedup"] = 8.0  # improvement: fine
+    deltas = compare_benchmarks(BASELINE, current)
+    by_path = {d.path: d for d in deltas}
+    assert by_path["training.batched.graphs_per_sec"].status == "regressed"
+    assert by_path["training.speedup"].status == "ok"
+    table = format_delta_table(deltas)
+    assert "REGRESSED" in table and "-50.0%" in table
+
+
+def test_compare_threshold_boundary():
+    current = json.loads(json.dumps(BASELINE))
+    current["training"]["batched"]["graphs_per_sec"] = 300.0 * 0.71  # -29%
+    deltas = compare_benchmarks(BASELINE, current)
+    by_path = {d.path: d for d in deltas}
+    assert by_path["training.batched.graphs_per_sec"].status == "ok"
+    tight = tuple(
+        MetricPolicy(p.pattern, p.direction, 0.10) for p in DEFAULT_POLICIES
+    )
+    deltas = compare_benchmarks(BASELINE, current, policies=tight)
+    by_path = {d.path: d for d in deltas}
+    assert by_path["training.batched.graphs_per_sec"].status == "regressed"
+
+
+def test_compare_directories_pass_fail_missing(tmp_path):
+    baselines = tmp_path / "baselines"
+    current = tmp_path / "current"
+    baselines.mkdir()
+    current.mkdir()
+    (baselines / "BENCH_x.json").write_text(json.dumps(BASELINE))
+
+    # identical current → ok
+    (current / "BENCH_x.json").write_text(json.dumps(BASELINE))
+    deltas, ok = compare_directories(baselines, current)
+    assert ok and deltas
+
+    # synthetic regression → fail
+    bad = json.loads(json.dumps(BASELINE))
+    bad["training"]["speedup"] = 1.0
+    (current / "BENCH_x.json").write_text(json.dumps(bad))
+    _, ok = compare_directories(baselines, current)
+    assert not ok
+
+    # missing current artifact → fail unless allowed
+    (current / "BENCH_x.json").unlink()
+    deltas, ok = compare_directories(baselines, current)
+    assert not ok
+    assert all(d.status == "missing" for d in deltas)
+    _, ok = compare_directories(baselines, current, allow_missing=True)
+    assert ok
+
+
+def test_compare_directories_requires_baselines(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        compare_directories(tmp_path, tmp_path)
+
+
+def test_repo_baselines_pass_against_committed_artifacts():
+    """The committed BENCH_*.json must satisfy the committed baselines."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    deltas, ok = compare_directories(root / "benchmarks" / "baselines", root)
+    assert ok, format_delta_table(deltas)
+
+
+def test_bench_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "redirected"))
+    assert default_bench_dir() == tmp_path / "redirected"
+    monkeypatch.delenv("REPRO_BENCH_DIR")
+    assert (default_bench_dir() / "pyproject.toml").is_file()
+
+
+# ----------------------------------------------------------------------
+# profiled pipeline (integration)
+# ----------------------------------------------------------------------
+def test_profile_pipeline_emits_manifest_and_spans(tmp_path):
+    from repro.eval import PROFILE_CONFIG, profile_pipeline
+
+    config = replace(
+        PROFILE_CONFIG,
+        samples_per_family=2,
+        gnn_epochs=6,
+        explainer_epochs=8,
+        gnnexplainer_epochs=2,
+        pgexplainer_epochs=2,
+        subgraphx_iterations=3,
+        subgraphx_shapley_samples=1,
+        step_size=50,
+    )
+    result = profile_pipeline(config, out_dir=tmp_path, graphs_per_explainer=1)
+
+    stats = result.tracer.aggregate()
+    for stage in (
+        "run",
+        "pipeline.corpus",
+        "pipeline.dataset",
+        "pipeline.train",
+        "pipeline.eval",
+        "pipeline.explain",
+        "train.epoch",
+        "explain.CFGExplainer",
+        "eval.accuracy",
+    ):
+        assert stage in stats, f"missing span {stage}"
+        assert stats[stage].wall_seconds > 0
+    assert stats["train.epoch"].count == config.gnn_epochs
+    assert stats["train.epoch"].counters["train.graphs"] > 0
+
+    data = json.loads(result.manifest_path.read_text())
+    assert data["config"]["samples_per_family"] == 2
+    root = data["span_tree"][0]
+    assert root["name"] == "run"
+    assert sum(c["wall_seconds"] for c in root["children"]) <= root["wall_seconds"]
+    assert data["total_wall_seconds"] == root["wall_seconds"]
+    # Cache traffic from the shared embedding cache shows up as metrics.
+    assert any(k.startswith("cache.") for k in data["metrics"])
+    assert result.trace_path.is_file()
+    events = [json.loads(x) for x in result.trace_path.read_text().splitlines()]
+    assert events[-1]["type"] == "metrics"
+    assert sum(e["type"] == "span" for e in events) == sum(
+        s.count for s in stats.values()
+    )
