@@ -42,6 +42,7 @@ from repro.eval import (
     run_pipeline,
     sweep_all_families,
 )
+from repro.exec import RetryPolicy, TaskFailure, run_sweeps, run_timings
 from repro.explain import (
     Explanation,
     accuracy_auc,
@@ -83,6 +84,10 @@ __all__ = [
     "PipelineArtifacts",
     "run_pipeline",
     "sweep_all_families",
+    "RetryPolicy",
+    "TaskFailure",
+    "run_sweeps",
+    "run_timings",
     "Explanation",
     "subgraph_accuracy",
     "sweep_accuracy_curve",

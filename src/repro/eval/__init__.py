@@ -7,11 +7,21 @@ from repro.eval.agreement import (
     static_agreement,
     suspicious_blocks,
 )
-from repro.eval.persistence import load_models_into, save_models
+from repro.eval.persistence import (
+    CheckpointError,
+    StageStore,
+    checkpoint_complete,
+    load_models_into,
+    save_models,
+)
 from repro.eval.pipeline import (
+    EXECUTION_ONLY_FIELDS,
     ExperimentConfig,
     PAPER_SCALE_CONFIG,
+    PIPELINE_STAGES,
     PipelineArtifacts,
+    PipelineInterrupted,
+    build_untrained_artifacts,
     run_pipeline,
 )
 from repro.eval.profile import PROFILE_CONFIG, ProfileResult, profile_pipeline
@@ -25,16 +35,23 @@ from repro.eval.tables import (
 from repro.eval.timing import ExplainerTiming, measure_timings
 
 __all__ = [
+    "EXECUTION_ONLY_FIELDS",
     "PAPER_SCALE_CONFIG",
+    "PIPELINE_STAGES",
     "PROFILE_CONFIG",
     "AgreementRow",
+    "CheckpointError",
     "ExperimentConfig",
     "ExplainerTiming",
     "FamilySweep",
     "PipelineArtifacts",
+    "PipelineInterrupted",
     "ProfileResult",
+    "StageStore",
     "agreement_rows",
     "build_table3",
+    "build_untrained_artifacts",
+    "checkpoint_complete",
     "format_agreement",
     "format_figure2",
     "format_table3",

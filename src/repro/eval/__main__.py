@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro.eval [--quick] [--samples N] [--seed S]
+                         [--workers W] [--run-dir DIR] [--task-timeout T]
     python -m repro.eval verify [--samples N] [--seed S] [--mode strict|warn]
     python -m repro.eval profile [--samples N] [--seed S] [--out DIR]
+                                 [--workers W]
 
 The bare invocation regenerates the paper artifacts (Figure 2, Tables
 III–V, plus the static-agreement table); it is what generated the
@@ -35,6 +37,7 @@ from repro.eval.tables import (
     format_table4,
 )
 from repro.eval.timing import measure_timings
+from repro.exec import run_timings
 
 
 def parse_args() -> argparse.Namespace:
@@ -42,6 +45,21 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--quick", action="store_true", help="reduced configuration")
     parser.add_argument("--samples", type=int, default=None, help="graphs per family")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep/timing experiments "
+             "(1 = exact serial reference path)",
+    )
+    parser.add_argument(
+        "--run-dir", default=None,
+        help="checkpoint directory: completed pipeline stages and sweep "
+             "shards persist here, and a rerun pointing at the same "
+             "directory resumes instead of recomputing",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-shard wall-clock timeout in seconds (workers only)",
+    )
 
     subparsers = parser.add_subparsers(dest="command")
     verify = subparsers.add_parser(
@@ -87,6 +105,10 @@ def parse_args() -> argparse.Namespace:
         "--markdown", action="store_true",
         help="emit the span tree as fenced markdown (for CI summaries)",
     )
+    profile.add_argument(
+        "--workers", type=int, default=1,
+        help="also trace a parallel sweep fan-out with this many workers",
+    )
     return parser.parse_args()
 
 
@@ -100,6 +122,7 @@ def run_profile(args: argparse.Namespace) -> int:
     config = replace(
         PROFILE_CONFIG,
         seed=args.seed,
+        num_workers=args.workers,
         **({"samples_per_family": args.samples} if args.samples else {}),
     )
     print(f"# Profiled run (config: {config})\n")
@@ -161,22 +184,31 @@ def run_evaluation(args: argparse.Namespace) -> int:
             explainer_epochs=150,
             subgraphx_iterations=10,
             seed=args.seed,
+            num_workers=args.workers,
+            task_timeout_seconds=args.task_timeout,
         )
     else:
         config = ExperimentConfig(
-            samples_per_family=args.samples or 20, seed=args.seed
+            samples_per_family=args.samples or 20,
+            seed=args.seed,
+            num_workers=args.workers,
+            task_timeout_seconds=args.task_timeout,
         )
 
     start = time.time()
     print(f"# Evaluation run (config: {config})\n")
-    artifacts = run_pipeline(config, verbose=False)
+    artifacts = run_pipeline(config, verbose=False, resume_from=args.run_dir)
     print(f"Pipeline ready in {time.time() - start:.0f}s; "
           f"GNN test accuracy {artifacts.gnn_test_accuracy:.3f}\n")
 
+    failures: list = []
     print("## Figure 2 — subgraph accuracy curves\n")
     sweeps = sweep_all_families(
         artifacts.gnn, artifacts.explainers, artifacts.test_set,
         step_size=config.step_size,
+        artifacts=artifacts,
+        run_dir=args.run_dir,
+        failures=failures,
     )
     print(format_figure2(sweeps))
 
@@ -184,11 +216,16 @@ def run_evaluation(args: argparse.Namespace) -> int:
     print(format_table3(build_table3(sweeps)))
 
     print("\n## Table IV — explanation time\n")
-    graphs = artifacts.test_set.graphs[: min(10, len(artifacts.test_set))]
-    print(format_table4(
-        measure_timings(artifacts.explainers, graphs,
-                        artifacts.offline_training_seconds)
-    ))
+    graph_count = min(10, len(artifacts.test_set))
+    if config.num_workers > 1:
+        timings, timing_failures = run_timings(artifacts, graph_count)
+        failures.extend(timing_failures)
+    else:
+        graphs = artifacts.test_set.graphs[:graph_count]
+        timings = measure_timings(
+            artifacts.explainers, graphs, artifacts.offline_training_seconds
+        )
+    print(format_table4(timings))
 
     print("\n## Table V — qualitative patterns (top-20% subgraphs)\n")
     explainer = artifacts.explainers["CFGExplainer"]
@@ -204,6 +241,14 @@ def run_evaluation(args: argparse.Namespace) -> int:
     print(format_agreement(
         agreement_rows(sweeps, artifacts.samples_by_name, fraction=0.2)
     ))
+
+    if failures:
+        print(f"\n## Degraded tasks ({len(failures)})\n")
+        for failure in failures:
+            print(
+                f"  {failure.key}: {failure.kind} after {failure.attempts} "
+                f"attempt(s) — {failure.message}"
+            )
     print(f"\nTotal wall clock: {time.time() - start:.0f}s")
     return 0
 

@@ -8,8 +8,11 @@ the individual experiments (Figure 2, Tables III–V) consume.
 
 from __future__ import annotations
 
+import json
+import pickle
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -30,14 +33,33 @@ from repro.gnn import (
 )
 from repro.malgen import generate_corpus
 from repro.malgen.corpus import LabeledSample
-from repro.obs import span as obs_span
+from repro.nn.serialize import load_module_into, save_module
+from repro.obs import add_counter, span as obs_span
 
 __all__ = [
+    "EXECUTION_ONLY_FIELDS",
     "ExperimentConfig",
     "PAPER_SCALE_CONFIG",
+    "PIPELINE_STAGES",
     "PipelineArtifacts",
+    "PipelineInterrupted",
+    "build_untrained_artifacts",
     "run_pipeline",
 ]
+
+#: Config fields that steer *how* a run executes (scheduling, gating)
+#: without affecting any trained weight or measured number.  Checkpoint
+#: compatibility validation ignores them: a pipeline trained serially
+#: may be resumed or swept with any worker count.
+EXECUTION_ONLY_FIELDS: frozenset[str] = frozenset(
+    {
+        "num_workers",
+        "task_timeout_seconds",
+        "task_retries",
+        "retry_backoff_seconds",
+        "verify_mode",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -88,7 +110,25 @@ class ExperimentConfig:
     #: warning, None skips verification.
     verify_mode: str | None = "strict"
 
+    # execution (repro.exec scheduler)
+    #: Worker processes for the per-family sweeps and timing loops.
+    #: 1 keeps the exact serial reference path (no subprocesses).
+    num_workers: int = 1
+    #: Per-task wall-clock timeout; a task over budget has its worker
+    #: terminated and is retried/failed.  Enforced only with worker
+    #: processes (``num_workers > 1``).  None disables the timeout.
+    task_timeout_seconds: float | None = None
+    #: Attempts beyond the first before a task becomes a TaskFailure.
+    task_retries: int = 1
+    #: Base delay before a retry (doubled per further attempt).
+    retry_backoff_seconds: float = 0.5
+
     def __post_init__(self):
+        # JSON/checkpoint round-trips turn tuples into lists; coerce
+        # sequence fields so equality and hashing behave.
+        object.__setattr__(
+            self, "gnn_hidden", tuple(int(width) for width in self.gnn_hidden)
+        )
         if self.samples_per_family <= 1:
             raise ValueError("need at least 2 samples per family to split")
         if self.batch_mode not in TRAINING_MODES:
@@ -103,6 +143,14 @@ class ExperimentConfig:
                 f"verify_mode must be None, 'strict' or 'warn', got "
                 f"{self.verify_mode!r}"
             )
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise ValueError("task_timeout_seconds must be positive or None")
+        if self.task_retries < 0:
+            raise ValueError("task_retries cannot be negative")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds cannot be negative")
 
 
 #: The configuration reported in the paper (Section V-A), for reference
@@ -139,8 +187,106 @@ class PipelineArtifacts:
         return self.samples_by_name[graph_name]
 
 
+#: Stage names persisted by a checkpointed :func:`run_pipeline`, in
+#: execution order.  Sweep shards are persisted separately by
+#: :func:`repro.exec.sweeps.run_sweeps`.
+PIPELINE_STAGES: tuple[str, ...] = (
+    "corpus",
+    "dataset",
+    "gnn",
+    "theta",
+    "pgexplainer",
+)
+
+
+class PipelineInterrupted(RuntimeError):
+    """Raised by ``run_pipeline(..., stop_after=...)`` once the named
+    stage has been computed and persisted — a controlled stand-in for a
+    crash, used by the resume tests and the ``repro-check --resume``
+    smoke gate."""
+
+    def __init__(self, stage: str):
+        super().__init__(f"pipeline interrupted after stage {stage!r}")
+        self.stage = stage
+
+
+def _build_classifier(config: ExperimentConfig, train_set, num_classes: int):
+    return GCNClassifier(
+        in_features=train_set[0].num_features,
+        hidden=config.gnn_hidden,
+        num_classes=num_classes,
+        rng=np.random.default_rng(config.seed),
+    )
+
+
+def build_untrained_artifacts(config: ExperimentConfig) -> PipelineArtifacts:
+    """Build the full pipeline skeleton without training anything.
+
+    Corpus, dataset, split and scaler are rebuilt deterministically from
+    the config (the corpus is *not* re-verified: it passed the gate on
+    the original run).  The GNN, CFGExplainer's Θ and PGExplainer's
+    predictor come out freshly initialized and are expected to be
+    overwritten by :func:`repro.eval.persistence.load_models_into` —
+    this is how :mod:`repro.exec` worker processes rebuild the frozen
+    models from a serialized spec.
+    """
+    corpus = generate_corpus(
+        config.samples_per_family,
+        seed=config.corpus_seed,
+        size_multiplier=config.size_multiplier,
+    )
+    dataset = ACFGDataset.from_corpus(corpus, verify=None)
+    train_raw, test_raw = train_test_split(
+        dataset, config.test_fraction, seed=config.seed
+    )
+    scaler = FeatureScaler().fit(list(train_raw))
+    train_set, test_set = train_raw.scaled(scaler), test_raw.scaled(scaler)
+
+    gnn = _build_classifier(config, train_set, dataset.num_classes)
+    embedding_cache = EmbeddingCache(gnn)
+    theta = CFGExplainerModel(
+        gnn.embedding_size,
+        dataset.num_classes,
+        rng=np.random.default_rng(config.seed + 1),
+    )
+    pg = PGExplainerBaseline(
+        gnn,
+        epochs=config.pgexplainer_epochs,
+        seed=config.seed,
+        embedding_cache=embedding_cache,
+    )
+    explainers: dict[str, Explainer] = {
+        "CFGExplainer": CFGExplainer(gnn, theta, embedding_cache=embedding_cache),
+        "GNNExplainer": GNNExplainerBaseline(
+            gnn, epochs=config.gnnexplainer_epochs, seed=config.seed
+        ),
+        "SubgraphX": SubgraphXBaseline(
+            gnn,
+            mcts_iterations=config.subgraphx_iterations,
+            shapley_samples=config.subgraphx_shapley_samples,
+            seed=config.seed,
+        ),
+        "PGExplainer": pg,
+    }
+    return PipelineArtifacts(
+        config=config,
+        corpus=corpus,
+        train_set=train_set,
+        test_set=test_set,
+        scaler=scaler,
+        gnn=gnn,
+        gnn_test_accuracy=float("nan"),
+        explainers=explainers,
+        samples_by_name={s.program.name: s for s in corpus},
+        embedding_cache=embedding_cache,
+    )
+
+
 def run_pipeline(
-    config: ExperimentConfig | None = None, verbose: bool = False
+    config: ExperimentConfig | None = None,
+    verbose: bool = False,
+    resume_from: str | Path | None = None,
+    stop_after: str | None = None,
 ) -> PipelineArtifacts:
     """Run the whole setup stage and return the experiment artifacts.
 
@@ -149,23 +295,109 @@ def run_pipeline(
     :func:`repro.obs.tracing` context is active; untraced runs pay
     nothing.  ``python -m repro.eval profile`` renders the resulting
     span tree and writes the :class:`~repro.obs.RunManifest`.
+
+    ``resume_from`` names a run directory: every completed stage
+    (:data:`PIPELINE_STAGES`) is persisted there atomically, and a rerun
+    pointing at the same directory restores completed stages instead of
+    recomputing them — a run killed after GNN training resumes without
+    retraining.  The directory pins the experiment config; resuming with
+    an incompatible config raises (execution-only knobs such as
+    ``num_workers`` may differ).  ``stop_after`` (requires
+    ``resume_from``) raises :class:`PipelineInterrupted` right after the
+    named stage persists, simulating a mid-run crash.
     """
     config = config or ExperimentConfig()
     rng_seed = config.seed
 
+    store = None
+    if resume_from is not None:
+        from repro.eval.persistence import StageStore
+
+        store = StageStore(resume_from)
+        store.bind_config(config)
+    if stop_after is not None:
+        if store is None:
+            raise ValueError("stop_after requires resume_from")
+        if stop_after not in PIPELINE_STAGES:
+            raise ValueError(
+                f"stop_after must be one of {PIPELINE_STAGES}, got {stop_after!r}"
+            )
+
+    def restored(stage: str) -> bool:
+        return store is not None and store.complete(stage)
+
+    def note_restored(stage: str) -> None:
+        add_counter("pipeline.stage.restored")
+        print(f"[resume] stage {stage}: restored from {store.path(stage)}")
+
+    def note_persisted(stage: str) -> None:
+        add_counter("pipeline.stage.persisted")
+        if verbose:
+            print(f"[resume] stage {stage}: persisted to {store.path(stage)}")
+
+    def maybe_stop(stage: str) -> None:
+        if stop_after == stage:
+            raise PipelineInterrupted(stage)
+
     with obs_span("pipeline.corpus"):
-        corpus = generate_corpus(
-            config.samples_per_family,
-            seed=config.corpus_seed,
-            size_multiplier=config.size_multiplier,
-        )
+        if restored("corpus"):
+            corpus = pickle.loads((store.path("corpus") / "corpus.pkl").read_bytes())
+            note_restored("corpus")
+        else:
+            corpus = generate_corpus(
+                config.samples_per_family,
+                seed=config.corpus_seed,
+                size_multiplier=config.size_multiplier,
+            )
+            if store is not None:
+                with store.writing("corpus") as tmp:
+                    (tmp / "corpus.pkl").write_bytes(pickle.dumps(corpus))
+                note_persisted("corpus")
+    maybe_stop("corpus")
+
     with obs_span("pipeline.dataset"):
-        dataset = ACFGDataset.from_corpus(corpus, verify=config.verify_mode)
+        dataset_restored = restored("dataset")
+        # A restored corpus already passed the invariant gate on the
+        # original run; don't pay for re-verification.
+        dataset = ACFGDataset.from_corpus(
+            corpus, verify=None if dataset_restored else config.verify_mode
+        )
         train_raw, test_raw = train_test_split(
             dataset, config.test_fraction, seed=rng_seed
         )
-        scaler = FeatureScaler().fit(list(train_raw))
+        scaler = FeatureScaler()
+        if dataset_restored:
+            from repro.eval.persistence import CheckpointError, validate_scale_vector
+
+            stage_dir = store.path("dataset")
+            split = json.loads((stage_dir / "split.json").read_text())
+            if (
+                [g.name for g in train_raw] != split["train"]
+                or [g.name for g in test_raw] != split["test"]
+            ):
+                raise CheckpointError(
+                    "stored train/test split does not match the regenerated corpus"
+                )
+            scale = np.load(stage_dir / "scaler.npy")
+            validate_scale_vector(scale, (train_raw[0].num_features,))
+            scaler.scale = scale
+            note_restored("dataset")
+        else:
+            scaler.fit(list(train_raw))
+            if store is not None:
+                with store.writing("dataset") as tmp:
+                    (tmp / "split.json").write_text(
+                        json.dumps(
+                            {
+                                "train": [g.name for g in train_raw],
+                                "test": [g.name for g in test_raw],
+                            }
+                        )
+                    )
+                    np.save(tmp / "scaler.npy", scaler.scale)
+                note_persisted("dataset")
         train_set, test_set = train_raw.scaled(scaler), test_raw.scaled(scaler)
+    maybe_stop("dataset")
 
     if verbose:
         print(
@@ -173,23 +405,28 @@ def run_pipeline(
             f"train={len(train_set)} test={len(test_set)}"
         )
 
-    gnn = GCNClassifier(
-        in_features=train_set[0].num_features,
-        hidden=config.gnn_hidden,
-        num_classes=dataset.num_classes,
-        rng=np.random.default_rng(rng_seed),
-    )
+    gnn = _build_classifier(config, train_set, dataset.num_classes)
     with obs_span("pipeline.train"):
-        train_gnn(
-            gnn,
-            train_set,
-            epochs=config.gnn_epochs,
-            batch_size=config.gnn_batch_size,
-            lr=config.gnn_lr,
-            seed=rng_seed,
-            mode=config.batch_mode,
-            verbose=verbose,
-        )
+        if restored("gnn"):
+            load_module_into(gnn, store.path("gnn") / "gnn.npz")
+            note_restored("gnn")
+        else:
+            train_gnn(
+                gnn,
+                train_set,
+                epochs=config.gnn_epochs,
+                batch_size=config.gnn_batch_size,
+                lr=config.gnn_lr,
+                seed=rng_seed,
+                mode=config.batch_mode,
+                verbose=verbose,
+            )
+            if store is not None:
+                with store.writing("gnn") as tmp:
+                    save_module(gnn, tmp / "gnn.npz")
+                note_persisted("gnn")
+    maybe_stop("gnn")
+
     with obs_span("pipeline.eval"):
         gnn_accuracy = evaluate_accuracy(
             gnn, test_set, batch_size=config.eval_batch_size
@@ -209,34 +446,69 @@ def run_pipeline(
 
     with obs_span("pipeline.explain"):
         with obs_span("pipeline.explain.CFGExplainer"):
-            start = time.perf_counter()
             theta = CFGExplainerModel(
                 gnn.embedding_size,
                 dataset.num_classes,
                 rng=np.random.default_rng(rng_seed + 1),
             )
-            train_cfgexplainer(
-                theta,
-                gnn,
-                train_set,
-                num_epochs=config.explainer_epochs,
-                minibatch_size=config.explainer_minibatch,
-                lr=config.explainer_lr,
-                seed=rng_seed,
-                embedding_cache=embedding_cache,
-            )
-            offline["CFGExplainer"] = time.perf_counter() - start
+            if restored("theta"):
+                load_module_into(theta, store.path("theta") / "theta.npz")
+                stored_offline = json.loads(
+                    (store.path("theta") / "offline.json").read_text()
+                )
+                offline["CFGExplainer"] = stored_offline["seconds"]
+                note_restored("theta")
+            else:
+                start = time.perf_counter()
+                train_cfgexplainer(
+                    theta,
+                    gnn,
+                    train_set,
+                    num_epochs=config.explainer_epochs,
+                    minibatch_size=config.explainer_minibatch,
+                    lr=config.explainer_lr,
+                    seed=rng_seed,
+                    embedding_cache=embedding_cache,
+                )
+                offline["CFGExplainer"] = time.perf_counter() - start
+                if store is not None:
+                    with store.writing("theta") as tmp:
+                        save_module(theta, tmp / "theta.npz")
+                        (tmp / "offline.json").write_text(
+                            json.dumps({"seconds": offline["CFGExplainer"]})
+                        )
+                    note_persisted("theta")
+        maybe_stop("theta")
 
         with obs_span("pipeline.explain.PGExplainer"):
-            start = time.perf_counter()
             pg = PGExplainerBaseline(
                 gnn,
                 epochs=config.pgexplainer_epochs,
                 seed=rng_seed,
                 embedding_cache=embedding_cache,
             )
-            pg.fit(train_set)
-            offline["PGExplainer"] = time.perf_counter() - start
+            if restored("pgexplainer"):
+                load_module_into(
+                    pg.predictor, store.path("pgexplainer") / "pg_predictor.npz"
+                )
+                pg._trained = True
+                stored_offline = json.loads(
+                    (store.path("pgexplainer") / "offline.json").read_text()
+                )
+                offline["PGExplainer"] = stored_offline["seconds"]
+                note_restored("pgexplainer")
+            else:
+                start = time.perf_counter()
+                pg.fit(train_set)
+                offline["PGExplainer"] = time.perf_counter() - start
+                if store is not None:
+                    with store.writing("pgexplainer") as tmp:
+                        save_module(pg.predictor, tmp / "pg_predictor.npz")
+                        (tmp / "offline.json").write_text(
+                            json.dumps({"seconds": offline["PGExplainer"]})
+                        )
+                    note_persisted("pgexplainer")
+        maybe_stop("pgexplainer")
         offline["GNNExplainer"] = 0.0  # local method: no offline stage
         offline["SubgraphX"] = 0.0
 

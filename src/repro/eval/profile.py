@@ -64,7 +64,11 @@ def profile_pipeline(
     ``.explain`` (offline explainer training), then per-explainer
     ``explain.<name>`` spans from real explanation calls — under one
     root span, so the manifest's aggregated timings sum consistently
-    with the root.
+    with the root.  When ``config.num_workers > 1`` a ``profile.sweep``
+    span additionally runs the sharded Figure 2 grid through the
+    :mod:`repro.exec` scheduler, so the trace shows the parallel
+    fan-out (``exec.run_tasks`` with its dispatch/retry/worker
+    counters).
     """
     config = config or PROFILE_CONFIG
     out_path = Path(out_dir) if out_dir is not None else None
@@ -79,6 +83,11 @@ def profile_pipeline(
                 for explainer in artifacts.explainers.values():
                     for graph in test_graphs:
                         explainer.explain(graph, config.step_size)
+            if config.num_workers > 1:
+                from repro.exec import run_sweeps
+
+                with span("profile.sweep"):
+                    run_sweeps(artifacts)
             with span("profile.eval"):
                 accuracy = evaluate_accuracy(
                     artifacts.gnn,

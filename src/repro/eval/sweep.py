@@ -60,8 +60,37 @@ def sweep_all_families(
     test_set: ACFGDataset,
     step_size: int = 10,
     verbose: bool = False,
+    *,
+    artifacts=None,
+    num_workers: int | None = None,
+    run_dir=None,
+    failures: list | None = None,
 ) -> dict[str, dict[str, FamilySweep]]:
-    """Figure 2's full grid: ``results[family][explainer_name]``."""
+    """Figure 2's full grid: ``results[family][explainer_name]``.
+
+    Passing ``artifacts`` (a :class:`~repro.eval.pipeline.PipelineArtifacts`)
+    routes the grid through the :mod:`repro.exec` scheduler: shards run
+    across ``num_workers`` processes (default ``artifacts.config.num_workers``;
+    1 is the exact serial path), persist/restore per-shard under
+    ``run_dir``, and shard failures degrade to
+    :class:`~repro.exec.tasks.TaskFailure` records appended to
+    ``failures`` instead of raising.  Results are numerically identical
+    to the serial loop below.
+    """
+    if artifacts is not None:
+        from repro.exec.sweeps import run_sweeps
+
+        result = run_sweeps(
+            artifacts,
+            step_size=step_size,
+            num_workers=num_workers,
+            run_dir=run_dir,
+            verbose=verbose,
+        )
+        if failures is not None:
+            failures.extend(result.failures)
+        return result.sweeps
+
     results: dict[str, dict[str, FamilySweep]] = {}
     for family in test_set.families:
         graphs = test_set.of_family(family)

@@ -1,0 +1,43 @@
+"""repro.exec — fault-tolerant parallel execution for the evaluation.
+
+A process-pool scheduler (:func:`run_tasks`) with per-task timeouts,
+bounded retry and graceful degradation (a failed task becomes a typed
+:class:`TaskFailure` record), plus the pipeline-specific layers on top:
+worker specs that rebuild the frozen GNN + explainers in a spawned
+process, and sharded, resumable drivers for the Figure 2 sweeps and
+Table IV timings.
+"""
+
+from repro.exec.scheduler import SchedulerError, WorkerInitError, run_tasks
+from repro.exec.sweeps import SweepRunResult, run_sweeps, run_timings
+from repro.exec.tasks import (
+    FAILURE_KINDS,
+    RetryPolicy,
+    Task,
+    TaskFailure,
+    TaskSuccess,
+)
+from repro.exec.worker import (
+    PipelineWorkerSpec,
+    build_pipeline_context,
+    run_sweep_shard,
+    run_timing_shard,
+)
+
+__all__ = [
+    "FAILURE_KINDS",
+    "PipelineWorkerSpec",
+    "RetryPolicy",
+    "SchedulerError",
+    "SweepRunResult",
+    "Task",
+    "TaskFailure",
+    "TaskSuccess",
+    "WorkerInitError",
+    "build_pipeline_context",
+    "run_sweep_shard",
+    "run_sweeps",
+    "run_tasks",
+    "run_timing_shard",
+    "run_timings",
+]

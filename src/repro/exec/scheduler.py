@@ -1,0 +1,527 @@
+"""Fault-tolerant process-pool work scheduler.
+
+:func:`run_tasks` fans a list of :class:`~repro.exec.tasks.Task` out
+over ``num_workers`` **spawned** processes.  Spawn (not fork) is used
+deliberately: each worker starts from a clean interpreter and rebuilds
+its context — for the evaluation pipeline, the frozen GNN and
+explainers — from a small serialized spec via a module-level
+``init_fn``, so workers never depend on inherited (and possibly
+half-mutated) parent memory.
+
+Robustness model, per task:
+
+* an **exception** in the task function is caught in the worker and
+  reported back as a typed error (the worker survives);
+* a **timeout** (``timeout_seconds``) terminates the worker running
+  the task and respawns a replacement;
+* a **crash** (segfault, OOM kill, ``os._exit``) is detected by the
+  parent via pipe EOF and likewise triggers a respawn.
+
+Each failure mode consumes one attempt under the
+:class:`~repro.exec.tasks.RetryPolicy` (bounded retries with
+exponential backoff); a task out of attempts becomes a
+:class:`~repro.exec.tasks.TaskFailure` record in the results while the
+run continues.  Only a worker whose *init* fails aborts the run
+(:class:`WorkerInitError`) — nothing could ever complete.
+
+``num_workers <= 1`` executes inline in the parent process with the
+same retry/degradation semantics (timeouts cannot be enforced
+preemptively without a worker process and are ignored).
+
+The parent instruments the run through :mod:`repro.obs`: an
+``exec.run_tasks`` span with ``exec.tasks.dispatched`` / ``completed``
+/ ``retried`` / ``failed`` / ``timeouts`` / ``crashes`` counters plus
+``exec.workers.spawned`` and ``exec.workers.busy_seconds`` (busy
+seconds over ``num_workers ×`` span wall time is worker utilization).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exec.tasks import RetryPolicy, Task, TaskFailure, TaskSuccess
+from repro.obs import add_counter, span as obs_span
+
+__all__ = ["SchedulerError", "WorkerInitError", "run_tasks"]
+
+#: Upper bound on one poll cycle: bounds how late the parent notices a
+#: deadline and guards against a worker dying without closing its pipe.
+_MAX_POLL_SECONDS = 0.5
+#: Grace period for workers to exit after a "stop" message.
+_SHUTDOWN_GRACE_SECONDS = 2.0
+
+
+class SchedulerError(RuntimeError):
+    """The scheduler itself (not an individual task) failed."""
+
+
+class WorkerInitError(SchedulerError):
+    """A worker's ``init_fn`` failed — no task could ever run, so the
+    whole run aborts instead of burning retries on every task."""
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    conn: Connection,
+    init_fn: Callable[[Any], Any] | None,
+    spec: Any,
+    task_fn: Callable[[Any, Any], Any],
+) -> None:
+    """Worker loop: build context from the spec, then serve tasks.
+
+    Protocol (all messages are ``(kind, key, body)`` tuples):
+    parent → worker: ``("task", key, payload)`` | ``("stop", None, None)``;
+    worker → parent: ``("ready", ...)`` after init, then per task
+    ``("ok", key, (value, seconds))`` or
+    ``("error", key, (message, traceback, seconds))``.
+    ``("init_error", None, (message, traceback))`` replaces "ready" when
+    the context cannot be built.
+    """
+    try:
+        context = init_fn(spec) if init_fn is not None else spec
+    except BaseException as error:  # noqa: BLE001 - report, don't die silently
+        try:
+            conn.send(
+                (
+                    "init_error",
+                    None,
+                    (f"{type(error).__name__}: {error}", traceback.format_exc()),
+                )
+            )
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", None, worker_id))
+    while True:
+        try:
+            kind, key, payload = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone
+        if kind == "stop":
+            break
+        started = time.perf_counter()
+        try:
+            value = task_fn(context, payload)
+        except BaseException as error:  # noqa: BLE001 - typed error, worker survives
+            conn.send(
+                (
+                    "error",
+                    key,
+                    (
+                        f"{type(error).__name__}: {error}",
+                        traceback.format_exc(),
+                        time.perf_counter() - started,
+                    ),
+                )
+            )
+            continue
+        elapsed = time.perf_counter() - started
+        try:
+            conn.send(("ok", key, (value, elapsed)))
+        except Exception as error:  # unpicklable / oversized result
+            conn.send(
+                (
+                    "error",
+                    key,
+                    (
+                        f"result not transferable: {type(error).__name__}: {error}",
+                        traceback.format_exc(),
+                        elapsed,
+                    ),
+                )
+            )
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent-side bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class _Worker:
+    id: int
+    process: Any
+    conn: Connection
+    ready: bool = False
+    retired: bool = False
+    task: Task | None = None
+    attempt: int = 0
+    deadline: float | None = None
+    dispatched_at: float = 0.0
+
+
+@dataclass
+class _RunState:
+    tasks: list[Task]
+    retry: RetryPolicy
+    #: (task, attempt number, monotonic time it becomes eligible)
+    pending: deque = field(default_factory=deque)
+    outcomes: dict[str, TaskSuccess | TaskFailure] = field(default_factory=dict)
+    #: cumulative wall seconds already spent per key (failed attempts)
+    spent: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.tasks) - len(self.outcomes)
+
+
+def run_tasks(
+    tasks: Iterable[Task],
+    task_fn: Callable[[Any, Any], Any],
+    *,
+    init_fn: Callable[[Any], Any] | None = None,
+    spec: Any = None,
+    num_workers: int = 1,
+    timeout_seconds: float | None = None,
+    retry: RetryPolicy | None = None,
+    on_result: Callable[[TaskSuccess | TaskFailure], None] | None = None,
+    verbose: bool = False,
+) -> list[TaskSuccess | TaskFailure]:
+    """Run every task, returning one outcome per task in input order.
+
+    ``task_fn(context, payload)`` produces a task's value, where
+    ``context`` is ``init_fn(spec)`` (or ``spec`` itself without an
+    ``init_fn``).  With ``num_workers > 1`` both functions and the spec
+    must be picklable (module-level functions) — each spawned worker
+    calls ``init_fn`` exactly once.  ``on_result`` fires in the parent
+    as each task reaches its final outcome (success or exhausted
+    retries), enabling streaming persistence.
+    """
+    tasks = list(tasks)
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError("task keys must be unique")
+    if timeout_seconds is not None and timeout_seconds <= 0:
+        raise ValueError("timeout_seconds must be positive or None")
+    retry = retry if retry is not None else RetryPolicy()
+
+    with obs_span("exec.run_tasks") as sched_span:
+        sched_span.add("exec.tasks.total", len(tasks))
+        sched_span.add("exec.workers.requested", max(1, num_workers))
+        if not tasks:
+            return []
+        if num_workers <= 1:
+            outcomes = _run_inline(tasks, task_fn, init_fn, spec, retry, on_result, verbose)
+        else:
+            outcomes = _run_pool(
+                tasks,
+                task_fn,
+                init_fn,
+                spec,
+                num_workers,
+                timeout_seconds,
+                retry,
+                on_result,
+                verbose,
+            )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# inline (serial) execution
+# ----------------------------------------------------------------------
+def _run_inline(
+    tasks: Sequence[Task],
+    task_fn,
+    init_fn,
+    spec,
+    retry: RetryPolicy,
+    on_result,
+    verbose: bool,
+) -> list[TaskSuccess | TaskFailure]:
+    context = init_fn(spec) if init_fn is not None else spec
+    outcomes: list[TaskSuccess | TaskFailure] = []
+    for task in tasks:
+        attempts = 0
+        total = 0.0
+        while True:
+            attempts += 1
+            add_counter("exec.tasks.dispatched")
+            started = time.perf_counter()
+            try:
+                value = task_fn(context, task.payload)
+            except Exception as error:
+                total += time.perf_counter() - started
+                if attempts <= retry.max_retries:
+                    add_counter("exec.tasks.retried")
+                    if verbose:
+                        print(f"[exec] {task.key}: attempt {attempts} failed ({error}); retrying")
+                    time.sleep(retry.delay(attempts))
+                    continue
+                outcome: TaskSuccess | TaskFailure = TaskFailure(
+                    key=task.key,
+                    kind="exception",
+                    message=f"{type(error).__name__}: {error}",
+                    attempts=attempts,
+                    seconds=total,
+                    worker_id=None,
+                    traceback=traceback.format_exc(),
+                )
+                add_counter("exec.tasks.failed")
+                break
+            elapsed = time.perf_counter() - started
+            add_counter("exec.tasks.completed")
+            add_counter("exec.workers.busy_seconds", elapsed)
+            outcome = TaskSuccess(
+                key=task.key,
+                value=value,
+                attempts=attempts,
+                seconds=elapsed,
+                worker_id=None,
+            )
+            break
+        outcomes.append(outcome)
+        if on_result is not None:
+            on_result(outcome)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# process-pool execution
+# ----------------------------------------------------------------------
+def _run_pool(
+    tasks: Sequence[Task],
+    task_fn,
+    init_fn,
+    spec,
+    num_workers: int,
+    timeout_seconds: float | None,
+    retry: RetryPolicy,
+    on_result,
+    verbose: bool,
+) -> list[TaskSuccess | TaskFailure]:
+    ctx = mp.get_context("spawn")
+    state = _RunState(tasks=list(tasks), retry=retry)
+    state.pending.extend((task, 1, 0.0) for task in tasks)
+    workers: list[_Worker] = []
+    next_id = 0
+    init_deaths = 0
+
+    def spawn_worker() -> None:
+        nonlocal next_id
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(next_id, child_conn, init_fn, spec, task_fn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        workers.append(_Worker(id=next_id, process=process, conn=parent_conn))
+        add_counter("exec.workers.spawned")
+        next_id += 1
+
+    def retire(worker: _Worker, *, kill: bool = False) -> None:
+        worker.retired = True
+        if kill and worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def finish(outcome: TaskSuccess | TaskFailure) -> None:
+        state.outcomes[outcome.key] = outcome
+        if on_result is not None:
+            on_result(outcome)
+
+    def settle_failure(
+        worker: _Worker, task: Task, attempt: int, kind: str, message: str,
+        seconds: float, tb: str | None,
+    ) -> None:
+        """Retry the task or record its final TaskFailure."""
+        total = state.spent.get(task.key, 0.0) + seconds
+        state.spent[task.key] = total
+        if attempt <= retry.max_retries:
+            add_counter("exec.tasks.retried")
+            if verbose:
+                print(f"[exec] {task.key}: attempt {attempt} {kind} ({message}); retrying")
+            state.pending.append(
+                (task, attempt + 1, time.monotonic() + retry.delay(attempt))
+            )
+        else:
+            add_counter("exec.tasks.failed")
+            if verbose:
+                print(f"[exec] {task.key}: FAILED ({kind}) after {attempt} attempts")
+            finish(
+                TaskFailure(
+                    key=task.key,
+                    kind=kind,
+                    message=message,
+                    attempts=attempt,
+                    seconds=total,
+                    worker_id=worker.id,
+                    traceback=tb,
+                )
+            )
+
+    def handle_death(worker: _Worker) -> None:
+        """A worker's pipe hit EOF: it crashed (or was killed)."""
+        nonlocal init_deaths
+        retire(worker)
+        exitcode = worker.process.exitcode
+        if worker.task is not None:
+            add_counter("exec.tasks.crashes")
+            settle_failure(
+                worker,
+                worker.task,
+                worker.attempt,
+                "crash",
+                f"worker {worker.id} died (exit code {exitcode})",
+                time.monotonic() - worker.dispatched_at,
+                None,
+            )
+            worker.task = None
+            worker.deadline = None
+        elif not worker.ready:
+            # Died during init without managing to report an init_error
+            # (e.g. a segfault while importing).  A couple of these in a
+            # row means no worker will ever come up.
+            init_deaths += 1
+            if init_deaths >= max(2, num_workers) + 1:
+                raise WorkerInitError(
+                    f"workers keep dying during initialization "
+                    f"(last exit code {exitcode})"
+                )
+
+    def alive_workers() -> list[_Worker]:
+        return [w for w in workers if not w.retired]
+
+    pool_size = min(num_workers, len(tasks))
+    for _ in range(pool_size):
+        spawn_worker()
+
+    busy_seconds = 0.0
+    try:
+        while state.remaining > 0:
+            now = time.monotonic()
+            # keep the pool at strength while useful work remains
+            active = alive_workers()
+            want = min(pool_size, state.remaining)
+            for _ in range(want - len(active)):
+                spawn_worker()
+            active = alive_workers()
+
+            # dispatch eligible pending tasks to ready, idle workers
+            for worker in active:
+                if not worker.ready or worker.task is not None:
+                    continue
+                slot = next(
+                    (
+                        i
+                        for i, (_, _, eligible_at) in enumerate(state.pending)
+                        if eligible_at <= now
+                    ),
+                    None,
+                )
+                if slot is None:
+                    break
+                state.pending.rotate(-slot)
+                task, attempt, _ = state.pending.popleft()
+                state.pending.rotate(slot)
+                worker.task = task
+                worker.attempt = attempt
+                worker.dispatched_at = now
+                worker.deadline = (
+                    now + timeout_seconds if timeout_seconds is not None else None
+                )
+                worker.conn.send(("task", task.key, task.payload))
+                add_counter("exec.tasks.dispatched")
+
+            # wait for results, deaths, deadlines or backoff expiry
+            wake_at = [w.deadline for w in active if w.deadline is not None]
+            wake_at.extend(e for (_, _, e) in state.pending if e > now)
+            poll = min(
+                _MAX_POLL_SECONDS,
+                max(0.0, min(wake_at) - now) if wake_at else _MAX_POLL_SECONDS,
+            )
+            conns = [w.conn for w in active]
+            if not conns:
+                time.sleep(poll)
+                continue
+            by_conn = {w.conn: w for w in active}
+            for conn in connection_wait(conns, timeout=poll):
+                worker = by_conn[conn]
+                try:
+                    kind, key, body = conn.recv()
+                except (EOFError, OSError):
+                    handle_death(worker)
+                    continue
+                if kind == "ready":
+                    worker.ready = True
+                elif kind == "ok":
+                    value, seconds = body
+                    busy_seconds += seconds
+                    add_counter("exec.workers.busy_seconds", seconds)
+                    add_counter("exec.tasks.completed")
+                    finish(
+                        TaskSuccess(
+                            key=key,
+                            value=value,
+                            attempts=worker.attempt,
+                            seconds=seconds,
+                            worker_id=worker.id,
+                        )
+                    )
+                    worker.task = None
+                    worker.deadline = None
+                elif kind == "error":
+                    message, tb, seconds = body
+                    busy_seconds += seconds
+                    add_counter("exec.workers.busy_seconds", seconds)
+                    task, attempt = worker.task, worker.attempt
+                    worker.task = None
+                    worker.deadline = None
+                    settle_failure(
+                        worker, task, attempt, "exception", message, seconds, tb
+                    )
+                elif kind == "init_error":
+                    message, tb = body
+                    raise WorkerInitError(
+                        f"worker {worker.id} failed to initialize: {message}\n{tb}"
+                    )
+
+            # enforce per-task deadlines
+            now = time.monotonic()
+            for worker in alive_workers():
+                if (
+                    worker.task is not None
+                    and worker.deadline is not None
+                    and now > worker.deadline
+                ):
+                    add_counter("exec.tasks.timeouts")
+                    task, attempt = worker.task, worker.attempt
+                    worker.task = None
+                    retire(worker, kill=True)
+                    settle_failure(
+                        worker,
+                        task,
+                        attempt,
+                        "timeout",
+                        f"task exceeded {timeout_seconds:.3f}s "
+                        f"(worker {worker.id} terminated)",
+                        now - worker.dispatched_at,
+                        None,
+                    )
+    finally:
+        for worker in alive_workers():
+            try:
+                worker.conn.send(("stop", None, None))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in alive_workers():
+            retire(worker)
+
+    return [state.outcomes[task.key] for task in tasks]

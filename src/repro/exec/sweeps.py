@@ -1,0 +1,275 @@
+"""Sharded, resumable execution of the Figure 2 / Table IV experiments.
+
+:func:`run_sweeps` cuts the full sweep grid into per-(family, explainer)
+shards and pushes them through :func:`repro.exec.scheduler.run_tasks`.
+With ``num_workers == 1`` the shards run inline in the parent — the
+exact serial reference path — while higher worker counts fan out over
+spawned processes that rebuild the frozen pipeline from a
+:class:`~repro.exec.worker.PipelineWorkerSpec`.  Either way a failed
+shard degrades to a :class:`~repro.exec.tasks.TaskFailure` in
+``SweepRunResult.failures`` instead of killing the run.
+
+Sharding is also the checkpoint grain: with a ``run_dir``, every
+completed shard persists atomically under ``<run_dir>/sweeps/`` the
+moment it finishes, and a rerun restores completed shards instead of
+recomputing them — a sweep killed mid-run resumes where it stopped.
+Per-shard determinism (explainers reseed per ``explain`` call) makes
+restored, parallel and serial results bit-identical.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Callable
+
+from repro.exec.scheduler import run_tasks
+from repro.exec.tasks import RetryPolicy, Task, TaskFailure
+from repro.exec.worker import (
+    PipelineWorkerSpec,
+    build_pipeline_context,
+    run_sweep_shard,
+    run_timing_shard,
+)
+from repro.obs import add_counter, span as obs_span
+
+__all__ = ["SweepRunResult", "run_sweeps", "run_timings"]
+
+
+@dataclass
+class SweepRunResult:
+    """Outcome of a sharded sweep: the Figure 2 grid plus failure records."""
+
+    #: ``sweeps[family][explainer_name]`` — exactly the shape
+    #: :func:`repro.eval.sweep.sweep_all_families` returns; shards that
+    #: failed are absent.
+    sweeps: dict
+    failures: list[TaskFailure] = field(default_factory=list)
+    #: Shards restored from a ``run_dir`` instead of recomputed.
+    restored: int = 0
+
+
+def _shard_key(family: str, explainer_name: str) -> str:
+    return f"{family}--{explainer_name}"
+
+
+def _shard_path(shard_dir: Path, key: str) -> Path:
+    return shard_dir / f"{key}.pkl"
+
+
+def _retry_policy(config, retry: RetryPolicy | None) -> RetryPolicy:
+    if retry is not None:
+        return retry
+    return RetryPolicy(
+        max_retries=config.task_retries,
+        backoff_seconds=config.retry_backoff_seconds,
+    )
+
+
+def _models_checkpoint(artifacts, run_dir: Path | None, stack) -> str:
+    """A trained-model checkpoint for workers to restore from.
+
+    Under a ``run_dir`` the checkpoint lives at ``<run_dir>/models`` and
+    is reused across resumed runs; otherwise it goes to a temporary
+    directory cleaned up when the sweep finishes.
+    """
+    from repro.eval.persistence import checkpoint_complete, save_models
+
+    if run_dir is not None:
+        models_dir = run_dir / "models"
+        if not checkpoint_complete(models_dir):
+            save_models(artifacts, models_dir)
+        return str(models_dir)
+    tmp = stack.enter_context(TemporaryDirectory(prefix="repro-models-"))
+    models_dir = Path(tmp) / "models"
+    save_models(artifacts, models_dir)
+    return str(models_dir)
+
+
+def run_sweeps(
+    artifacts,
+    *,
+    step_size: int | None = None,
+    num_workers: int | None = None,
+    run_dir: str | Path | None = None,
+    timeout_seconds: float | None = None,
+    retry: RetryPolicy | None = None,
+    verbose: bool = False,
+    on_shard_complete: Callable[[str, object], None] | None = None,
+) -> SweepRunResult:
+    """Run the full Figure 2 grid, sharded per (family, explainer).
+
+    Defaults for ``step_size`` / ``num_workers`` / ``timeout_seconds`` /
+    ``retry`` come from ``artifacts.config``.  ``on_shard_complete(key,
+    sweep)`` fires after each shard's result is recorded (and persisted,
+    with a ``run_dir``) — the crash-resume tests use it to interrupt a
+    run at an exact shard boundary.
+    """
+    from contextlib import ExitStack
+
+    config = artifacts.config
+    step_size = step_size if step_size is not None else config.step_size
+    num_workers = num_workers if num_workers is not None else config.num_workers
+    timeout_seconds = (
+        timeout_seconds if timeout_seconds is not None else config.task_timeout_seconds
+    )
+    retry = _retry_policy(config, retry)
+    run_dir = Path(run_dir) if run_dir is not None else None
+    shard_dir = run_dir / "sweeps" if run_dir is not None else None
+
+    shards: list[tuple[str, str, str]] = []  # (key, family, explainer)
+    for family in artifacts.test_set.families:
+        if not artifacts.test_set.of_family(family):
+            continue
+        for name in artifacts.explainers:
+            shards.append((_shard_key(family, name), family, name))
+
+    results: dict[str, object] = {}
+    restored = 0
+    with obs_span("sweep.run") as sweep_span:
+        if shard_dir is not None:
+            for key, _, _ in shards:
+                path = _shard_path(shard_dir, key)
+                if not path.is_file():
+                    continue
+                try:
+                    sweep = pickle.loads(path.read_bytes())
+                except Exception:
+                    continue  # truncated/corrupt shard: recompute it
+                results[key] = sweep
+                restored += 1
+                add_counter("sweep.shards.restored")
+                print(f"[resume] sweep shard {key}: restored from {path}")
+
+        pending = [
+            Task(key=key, payload={"family": family, "explainer": name, "step_size": step_size})
+            for key, family, name in shards
+            if key not in results
+        ]
+        sweep_span.add("sweep.shards.total", len(shards))
+        sweep_span.add("sweep.shards.restored", restored)
+
+        failures: list[TaskFailure] = []
+
+        def handle(outcome) -> None:
+            if not outcome.ok:
+                failures.append(outcome)
+                return
+            sweep = outcome.value
+            results[outcome.key] = sweep
+            add_counter("sweep.shards.computed")
+            if shard_dir is not None:
+                from repro.eval.persistence import atomic_write_bytes
+
+                atomic_write_bytes(_shard_path(shard_dir, outcome.key), pickle.dumps(sweep))
+            if verbose:
+                print(
+                    f"{sweep.family:8s} {sweep.explainer_name:14s} "
+                    f"auc={sweep.auc:.3f} "
+                    f"acc@10%={sweep.accuracy_at(0.1):.3f} "
+                    f"acc@20%={sweep.accuracy_at(0.2):.3f}"
+                )
+            if on_shard_complete is not None:
+                on_shard_complete(outcome.key, sweep)
+
+        if pending:
+            with ExitStack() as stack:
+                if num_workers <= 1:
+                    # Inline: no pickling, the shards close over the live
+                    # artifacts — byte-for-byte the serial reference.
+                    run_tasks(
+                        pending,
+                        run_sweep_shard,
+                        spec=artifacts,
+                        num_workers=1,
+                        retry=retry,
+                        on_result=handle,
+                        verbose=verbose,
+                    )
+                else:
+                    spec = PipelineWorkerSpec(
+                        config=asdict(config),
+                        models_dir=_models_checkpoint(artifacts, run_dir, stack),
+                    )
+                    run_tasks(
+                        pending,
+                        run_sweep_shard,
+                        init_fn=build_pipeline_context,
+                        spec=spec,
+                        num_workers=num_workers,
+                        timeout_seconds=timeout_seconds,
+                        retry=retry,
+                        on_result=handle,
+                        verbose=verbose,
+                    )
+
+    sweeps: dict = {}
+    for key, family, name in shards:
+        if key not in results:
+            continue
+        sweeps.setdefault(family, {})[name] = results[key]
+    return SweepRunResult(sweeps=sweeps, failures=failures, restored=restored)
+
+
+def run_timings(
+    artifacts,
+    graph_count: int,
+    *,
+    step_size: int | None = None,
+    num_workers: int | None = None,
+    timeout_seconds: float | None = None,
+    retry: RetryPolicy | None = None,
+) -> tuple[list, list[TaskFailure]]:
+    """Table IV timings, one shard per explainer.
+
+    Serially this is exactly :func:`repro.eval.timing.measure_timings`
+    over the first ``graph_count`` test graphs; with workers each
+    explainer is timed in its own process.  (Absolute times then reflect
+    contended cores — use serial runs for publishable numbers.)  Returns
+    ``(timings, failures)`` in explainer order.
+    """
+    from contextlib import ExitStack
+
+    config = artifacts.config
+    step_size = step_size if step_size is not None else config.step_size
+    num_workers = num_workers if num_workers is not None else config.num_workers
+    timeout_seconds = (
+        timeout_seconds if timeout_seconds is not None else config.task_timeout_seconds
+    )
+    retry = _retry_policy(config, retry)
+
+    tasks = [
+        Task(
+            key=f"timing--{name}",
+            payload={
+                "explainer": name,
+                "graph_count": graph_count,
+                "step_size": step_size,
+            },
+        )
+        for name in artifacts.explainers
+    ]
+    with ExitStack() as stack:
+        if num_workers <= 1:
+            outcomes = run_tasks(
+                tasks, run_timing_shard, spec=artifacts, num_workers=1, retry=retry
+            )
+        else:
+            spec = PipelineWorkerSpec(
+                config=asdict(config),
+                models_dir=_models_checkpoint(artifacts, None, stack),
+            )
+            outcomes = run_tasks(
+                tasks,
+                run_timing_shard,
+                init_fn=build_pipeline_context,
+                spec=spec,
+                num_workers=num_workers,
+                timeout_seconds=timeout_seconds,
+                retry=retry,
+            )
+    timings = [o.value for o in outcomes if o.ok]
+    failures = [o for o in outcomes if not o.ok]
+    return timings, failures

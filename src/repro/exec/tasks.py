@@ -1,0 +1,99 @@
+"""Typed units of work and outcomes for the :mod:`repro.exec` scheduler.
+
+A :class:`Task` is a keyed, picklable payload; running one yields
+either a :class:`TaskSuccess` carrying the worker's return value or a
+:class:`TaskFailure` — a *record*, not an exception, so one bad graph
+degrades a sweep instead of killing a multi-minute run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "FAILURE_KINDS",
+    "RetryPolicy",
+    "Task",
+    "TaskFailure",
+    "TaskSuccess",
+]
+
+#: How a task can fail: an exception raised by the task function, a
+#: per-task wall-clock timeout, or the death of the worker process
+#: running it (segfault, OOM kill, ``os._exit``).
+FAILURE_KINDS: tuple[str, ...] = ("exception", "timeout", "crash")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: a unique key plus a picklable payload."""
+
+    key: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class TaskSuccess:
+    """A completed task: its value plus attempt/cost accounting."""
+
+    key: str
+    value: Any
+    attempts: int
+    #: Wall-clock seconds of the successful attempt (not prior retries).
+    seconds: float
+    #: Worker that produced the value; None on the inline serial path.
+    worker_id: int | None
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that exhausted its retries — kept in the results, typed.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`; ``seconds`` accumulates
+    wall-clock time across every attempt.
+    """
+
+    key: str
+    kind: str
+    message: str
+    attempts: int
+    seconds: float
+    worker_id: int | None = None
+    traceback: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    ``max_retries`` counts attempts *beyond* the first; a policy of 1
+    means a task runs at most twice.  The delay before retrying attempt
+    ``n+1`` is ``backoff_seconds * backoff_factor ** (n - 1)``.
+    """
+
+    max_retries: int = 1
+    backoff_seconds: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Seconds to wait before the next attempt."""
+        if failed_attempts <= 0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_factor ** (failed_attempts - 1)

@@ -1,0 +1,85 @@
+"""Worker-process context for parallel evaluation runs.
+
+A spawned scheduler worker starts from a clean interpreter; everything
+it needs must travel through a small picklable spec.
+:class:`PipelineWorkerSpec` is that spec for the evaluation pipeline —
+the experiment config (as a plain dict) plus the path of a trained-model
+checkpoint — and :func:`build_pipeline_context` turns it back into full
+:class:`~repro.eval.pipeline.PipelineArtifacts`: the deterministic parts
+(corpus, split, scaler) are rebuilt from the config, the trained parts
+(GNN, Θ, PGExplainer's predictor) are restored from the checkpoint via
+:func:`repro.eval.persistence.load_models_into`.
+
+The shard functions (:func:`run_sweep_shard`, :func:`run_timing_shard`)
+are the ``task_fn`` side: given rebuilt artifacts and a shard payload,
+produce exactly what the serial code produces.  Determinism holds
+because every explainer reseeds its RNG per ``explain`` call and module
+weights round-trip losslessly through ``npz`` — a parallel sweep is
+bit-identical to the serial reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "PipelineWorkerSpec",
+    "build_pipeline_context",
+    "run_sweep_shard",
+    "run_timing_shard",
+]
+
+
+@dataclass(frozen=True)
+class PipelineWorkerSpec:
+    """Everything needed to rebuild the frozen pipeline in a fresh process.
+
+    ``config`` is ``dataclasses.asdict(ExperimentConfig)`` (a dict, not
+    the dataclass, so unpickling does not depend on import order);
+    ``models_dir`` points at a :func:`repro.eval.persistence.save_models`
+    checkpoint.
+    """
+
+    config: Mapping[str, Any]
+    models_dir: str
+
+
+def build_pipeline_context(spec: PipelineWorkerSpec):
+    """Rebuild trained :class:`PipelineArtifacts` from a worker spec."""
+    from repro.eval.persistence import load_models_into
+    from repro.eval.pipeline import ExperimentConfig, build_untrained_artifacts
+
+    config = ExperimentConfig(**dict(spec.config))
+    artifacts = build_untrained_artifacts(config)
+    return load_models_into(artifacts, spec.models_dir)
+
+
+def run_sweep_shard(artifacts, payload: Mapping[str, Any]):
+    """One Figure 2 shard: sweep a single (family, explainer) pair."""
+    from repro.eval.sweep import sweep_family
+
+    family = payload["family"]
+    explainer_name = payload["explainer"]
+    graphs = artifacts.test_set.of_family(family)
+    return sweep_family(
+        artifacts.gnn,
+        artifacts.explainers[explainer_name],
+        graphs,
+        family,
+        payload["step_size"],
+    )
+
+
+def run_timing_shard(artifacts, payload: Mapping[str, Any]):
+    """One Table IV shard: time a single explainer over the test graphs."""
+    from repro.eval.timing import measure_timings
+
+    explainer_name = payload["explainer"]
+    graphs = list(artifacts.test_set)[: payload["graph_count"]]
+    return measure_timings(
+        {explainer_name: artifacts.explainers[explainer_name]},
+        graphs,
+        artifacts.offline_training_seconds,
+        payload["step_size"],
+    )[0]

@@ -228,3 +228,9 @@ class EmbeddingCache:
 
     def cache_info(self) -> CacheInfo:
         return CacheInfo(self.hits, self.misses, len(self._entries), -1)
+
+    def clear(self) -> None:
+        """Drop every cached forward (e.g. after the GNN's weights change)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -252,7 +252,11 @@ def generate_program(
     writer.emit("push", "0")
     writer.emit("call", "ds:ExitProcess")
 
-    generic_pool = {name: 1.0 for name in GENERIC_MOTIFS}
+    # GENERIC_MOTIFS is a set: its iteration order varies with the
+    # per-interpreter hash seed, and the order feeds rng.choice — sort so
+    # the same seed yields the same program in *any* process (worker
+    # processes rebuild the corpus and must get bit-identical graphs).
+    generic_pool = {name: 1.0 for name in sorted(GENERIC_MOTIFS)}
     for label in function_labels:
         writer.label(label)
         writer.emit("push", "ebp")

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.nn.layers import Module
 
-__all__ = ["save_module", "load_module_into"]
+__all__ = ["checked_parameter_arrays", "load_module_into", "save_module"]
 
 
 def save_module(
@@ -30,11 +30,16 @@ def save_module(
     np.savez_compressed(path, **arrays)
 
 
-def load_module_into(module: Module, path: str | Path) -> dict:
-    """Load parameters saved by :func:`save_module` into ``module``.
+def checked_parameter_arrays(
+    path: str | Path, module: Module
+) -> tuple[list[np.ndarray], dict]:
+    """Read and validate a checkpoint against ``module`` without mutating it.
 
-    Returns the config dict stored alongside the weights.  Raises
-    ``ValueError`` when the parameter count or any shape differs.
+    Returns ``(arrays, config)`` where ``arrays[i]`` is the stored value
+    of ``module.parameters()[i]``.  Raises ``ValueError`` on parameter
+    count or shape mismatch — before anything is written — so callers
+    can stage several checkpoints and only apply them once every file
+    has validated.
     """
     path = Path(path)
     if not path.suffix:
@@ -46,12 +51,27 @@ def load_module_into(module: Module, path: str | Path) -> dict:
         raise ValueError(
             f"checkpoint has {len(stored)} parameters, model has {len(params)}"
         )
+    arrays = []
     for i, param in enumerate(params):
         array = data[f"param_{i}"]
         if array.shape != param.data.shape:
             raise ValueError(
                 f"parameter {i}: checkpoint shape {array.shape} != model {param.data.shape}"
             )
-        param.data[...] = array
+        arrays.append(array)
     config_bytes = data["__config__"].tobytes() if "__config__" in data.files else b"{}"
-    return json.loads(config_bytes.decode())
+    return arrays, json.loads(config_bytes.decode())
+
+
+def load_module_into(module: Module, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Returns the config dict stored alongside the weights.  Raises
+    ``ValueError`` when the parameter count or any shape differs; every
+    shape is validated before the first parameter is written, so a
+    mismatch never leaves the module half-loaded.
+    """
+    arrays, config = checked_parameter_arrays(path, module)
+    for param, array in zip(module.parameters(), arrays):
+        param.data[...] = array
+    return config

@@ -20,6 +20,11 @@ in order and the exit code is non-zero if any of them fails:
 5. With ``--profile``, an observability smoke test: a tiny traced
    pipeline run must emit a well-formed ``RUN_MANIFEST.json`` whose
    span tree covers every stage with nonzero timings.
+6. With ``--resume``, a crash-resume smoke test: a tiny pipeline is
+   interrupted right after GNN training, then resumed against the same
+   run directory — the resumed run must restore (not retrain) every
+   completed stage, leaving the persisted GNN checkpoint bytes
+   untouched.
 """
 
 from __future__ import annotations
@@ -165,6 +170,50 @@ def _run_profile_smoke() -> bool:
     return bool(ok)
 
 
+def _run_resume_smoke() -> bool:
+    """Interrupt a tiny pipeline after training, resume, assert skips."""
+    import tempfile
+    from dataclasses import replace
+
+    from repro.eval.pipeline import PipelineInterrupted, run_pipeline
+    from repro.eval.profile import PROFILE_CONFIG
+    from repro.obs import metrics_registry
+
+    config = replace(
+        PROFILE_CONFIG,
+        samples_per_family=2,
+        gnn_epochs=8,
+        explainer_epochs=10,
+        gnnexplainer_epochs=3,
+        pgexplainer_epochs=2,
+        subgraphx_iterations=4,
+        subgraphx_shapley_samples=1,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp) / "run"
+        try:
+            run_pipeline(config, resume_from=run_dir, stop_after="gnn")
+        except PipelineInterrupted:
+            pass
+        else:
+            print("[check] resume smoke: stop_after='gnn' did not interrupt (FAILED)")
+            return False
+        gnn_bytes = (run_dir / "stages" / "gnn" / "gnn.npz").read_bytes()
+        before = metrics_registry().snapshot()
+        artifacts = run_pipeline(config, resume_from=run_dir)
+        delta = metrics_registry().delta_since(before)
+        restored = delta.get("pipeline.stage.restored", 0)
+        unchanged = (run_dir / "stages" / "gnn" / "gnn.npz").read_bytes() == gnn_bytes
+    ok = restored >= 3 and unchanged and artifacts.gnn_test_accuracy >= 0.0
+    status = "ok" if ok else "FAILED"
+    detail = "" if unchanged else " gnn checkpoint rewritten"
+    print(
+        f"[check] resume smoke: {restored} stages restored after interrupt, "
+        f"gnn accuracy {artifacts.gnn_test_accuracy:.3f} ({status}){detail}"
+    )
+    return bool(ok)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="One-shot repository health check."
@@ -173,6 +222,12 @@ def main(argv: list[str] | None = None) -> int:
         "--profile",
         action="store_true",
         help="also run the observability smoke gate (traced tiny pipeline)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="also run the crash-resume smoke gate (interrupt + resume a "
+        "tiny checkpointed pipeline)",
     )
     args = parser.parse_args(argv)
     root = _repo_root()
@@ -187,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
     results["batching smoke"] = _run_batching_smoke(samples=2, seed=0)
     if args.profile:
         results["profile smoke"] = _run_profile_smoke()
+    if args.resume:
+        results["resume smoke"] = _run_resume_smoke()
 
     print("\n[check] summary")
     failed = False

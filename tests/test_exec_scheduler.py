@@ -1,0 +1,161 @@
+"""Tests for the repro.exec process-pool scheduler."""
+
+import os
+import time
+
+import pytest
+
+from repro.exec import (
+    RetryPolicy,
+    Task,
+    TaskFailure,
+    TaskSuccess,
+    WorkerInitError,
+    run_tasks,
+)
+
+FAST_RETRY = RetryPolicy(max_retries=1, backoff_seconds=0.01)
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+# Task/init functions must be module-level so spawned workers can
+# unpickle them.
+def _double_spec(spec):
+    return spec * 2
+
+
+def _add_square(context, payload):
+    return context + payload**2
+
+
+def _raise_always(context, payload):
+    raise ValueError(f"boom {payload}")
+
+
+def _crash_on_bad(context, payload):
+    if payload == "bad":
+        os._exit(13)
+    return payload
+
+
+def _sleep_for(context, payload):
+    time.sleep(payload)
+    return "slept"
+
+
+def _fail_until_marker(context, payload):
+    """Fails once, then succeeds: flips a marker file on first attempt."""
+    marker = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("x")
+        raise RuntimeError("first attempt fails")
+    return "recovered"
+
+
+def _bad_init(spec):
+    raise RuntimeError("no context for you")
+
+
+class TestInline:
+    def test_success_and_order(self):
+        out = run_tasks(
+            [Task("a", 2), Task("b", 3)], _add_square, init_fn=_double_spec, spec=5
+        )
+        assert [o.value for o in out] == [14, 19]
+        assert all(isinstance(o, TaskSuccess) and o.attempts == 1 for o in out)
+        assert all(o.worker_id is None for o in out)
+
+    def test_failure_becomes_record(self):
+        out = run_tasks([Task("x", 1)], _raise_always, retry=NO_RETRY)
+        (failure,) = out
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "exception"
+        assert "boom 1" in failure.message
+        assert failure.attempts == 1
+        assert "ValueError" in failure.traceback
+
+    def test_retry_then_success(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        out = run_tasks(
+            [Task("flaky", marker)], _fail_until_marker, retry=FAST_RETRY
+        )
+        (success,) = out
+        assert success.ok and success.value == "recovered"
+        assert success.attempts == 2
+
+    def test_retry_exhausted_counts_attempts(self):
+        out = run_tasks(
+            [Task("x", 1)],
+            _raise_always,
+            retry=RetryPolicy(max_retries=2, backoff_seconds=0.0),
+        )
+        assert out[0].attempts == 3
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_tasks([Task("k", 1), Task("k", 2)], _add_square)
+
+    def test_on_result_streams_outcomes(self):
+        seen = []
+        run_tasks(
+            [Task("a", 1), Task("b", 2)],
+            _add_square,
+            spec=0,
+            on_result=seen.append,
+        )
+        assert [o.key for o in seen] == ["a", "b"]
+
+
+class TestPool:
+    def test_matches_inline_results(self):
+        tasks = [Task(f"t{i}", i) for i in range(6)]
+        inline = run_tasks(tasks, _add_square, init_fn=_double_spec, spec=5)
+        pooled = run_tasks(
+            tasks, _add_square, init_fn=_double_spec, spec=5, num_workers=3
+        )
+        assert [o.value for o in pooled] == [o.value for o in inline]
+        assert all(o.worker_id is not None for o in pooled)
+
+    def test_worker_crash_degrades_to_failure(self):
+        out = run_tasks(
+            [Task("good", "g"), Task("bad", "bad")],
+            _crash_on_bad,
+            num_workers=2,
+            retry=FAST_RETRY,
+        )
+        by_key = {o.key: o for o in out}
+        assert by_key["good"].ok and by_key["good"].value == "g"
+        failure = by_key["bad"]
+        assert not failure.ok
+        assert failure.kind == "crash"
+        assert failure.attempts == 2  # retried once, crashed again
+        assert "exit code" in failure.message
+
+    def test_timeout_kills_and_records(self):
+        out = run_tasks(
+            [Task("slow", 10.0), Task("fast", 0.01)],
+            _sleep_for,
+            num_workers=2,
+            timeout_seconds=0.5,
+            retry=NO_RETRY,
+        )
+        by_key = {o.key: o for o in out}
+        assert by_key["fast"].ok
+        assert by_key["slow"].kind == "timeout"
+
+    def test_exception_in_worker_is_typed(self):
+        out = run_tasks(
+            [Task("x", 7)], _raise_always, num_workers=2, retry=NO_RETRY
+        )
+        assert out[0].kind == "exception"
+        assert "boom 7" in out[0].message
+
+    def test_init_failure_aborts_run(self):
+        with pytest.raises(WorkerInitError, match="no context for you"):
+            run_tasks(
+                [Task("x", 1)], _add_square, init_fn=_bad_init, num_workers=2
+            )
+
+    def test_empty_task_list(self):
+        assert run_tasks([], _add_square, num_workers=2) == []

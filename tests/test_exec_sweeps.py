@@ -1,0 +1,133 @@
+"""Tests for sharded sweep execution: parallel parity, degradation, resume."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.eval import ExperimentConfig, run_pipeline
+from repro.exec import RetryPolicy, run_sweeps, run_timings
+
+TINY = ExperimentConfig(
+    samples_per_family=2,
+    gnn_hidden=(8, 4),
+    gnn_epochs=3,
+    explainer_epochs=5,
+    gnnexplainer_epochs=2,
+    pgexplainer_epochs=1,
+    subgraphx_iterations=2,
+    subgraphx_shapley_samples=1,
+    step_size=20,
+)
+
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return run_pipeline(TINY)
+
+
+@pytest.fixture(scope="module")
+def serial_result(artifacts):
+    return run_sweeps(artifacts, num_workers=1)
+
+
+def assert_sweeps_identical(a, b):
+    assert set(a) == set(b)
+    for family in a:
+        assert set(a[family]) == set(b[family])
+        for name in a[family]:
+            sa, sb = a[family][name], b[family][name]
+            np.testing.assert_array_equal(sa.fractions, sb.fractions)
+            np.testing.assert_allclose(sa.accuracies, sb.accuracies, atol=1e-8)
+            assert len(sa.explanations) == len(sb.explanations)
+            for ea, eb in zip(sa.explanations, sb.explanations):
+                np.testing.assert_array_equal(ea.node_order, eb.node_order)
+
+
+class _ExplodingExplainer:
+    name = "Exploding"
+
+    def explain(self, graph, step_size=10):
+        raise RuntimeError("this explainer always fails")
+
+
+class TestSerial:
+    def test_matches_legacy_loop(self, artifacts, serial_result):
+        from repro.eval.sweep import sweep_all_families
+
+        legacy = sweep_all_families(
+            artifacts.gnn,
+            artifacts.explainers,
+            artifacts.test_set,
+            step_size=TINY.step_size,
+        )
+        assert not serial_result.failures
+        assert_sweeps_identical(serial_result.sweeps, legacy)
+
+    def test_failed_shard_degrades(self, artifacts):
+        broken = copy.copy(artifacts)
+        broken.explainers = dict(artifacts.explainers)
+        broken.explainers["Exploding"] = _ExplodingExplainer()
+        result = run_sweeps(broken, num_workers=1, retry=NO_RETRY)
+        families = list(broken.test_set.families)
+        assert len(result.failures) == len(families)
+        assert all(f.kind == "exception" for f in result.failures)
+        # every other explainer still produced its full grid
+        for family in result.sweeps:
+            assert set(result.sweeps[family]) == set(artifacts.explainers)
+
+
+class TestParallel:
+    def test_identical_to_serial(self, artifacts, serial_result):
+        parallel = run_sweeps(artifacts, num_workers=2)
+        assert not parallel.failures
+        assert_sweeps_identical(serial_result.sweeps, parallel.sweeps)
+
+
+class TestShardResume:
+    def test_interrupted_sweep_resumes_identically(
+        self, artifacts, serial_result, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        seen = []
+
+        def interrupt_after_two(key, sweep):
+            seen.append(key)
+            if len(seen) == 2:
+                raise KeyboardInterrupt("simulated kill")
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweeps(
+                artifacts,
+                num_workers=1,
+                run_dir=run_dir,
+                on_shard_complete=interrupt_after_two,
+            )
+        persisted = sorted(p.name for p in (run_dir / "sweeps").glob("*.pkl"))
+        assert len(persisted) == 2
+
+        resumed = run_sweeps(artifacts, num_workers=1, run_dir=run_dir)
+        assert resumed.restored == 2
+        assert not resumed.failures
+        assert_sweeps_identical(resumed.sweeps, serial_result.sweeps)
+
+    def test_corrupt_shard_recomputed(self, artifacts, serial_result, tmp_path):
+        run_dir = tmp_path / "run"
+        (run_dir / "sweeps").mkdir(parents=True)
+        family = artifacts.test_set.families[0]
+        (run_dir / "sweeps" / f"{family}--CFGExplainer.pkl").write_bytes(
+            b"not a pickle"
+        )
+        result = run_sweeps(artifacts, num_workers=1, run_dir=run_dir)
+        assert result.restored == 0
+        assert_sweeps_identical(result.sweeps, serial_result.sweeps)
+
+
+class TestTimings:
+    def test_serial_timings_cover_every_explainer(self, artifacts):
+        timings, failures = run_timings(artifacts, graph_count=2)
+        assert not failures
+        assert [t.explainer_name for t in timings] == list(artifacts.explainers)
+        assert all(t.samples == 2 and t.mean_seconds > 0 for t in timings)
