@@ -11,10 +11,28 @@ import numpy as np
 from repro.acfg.graph import ACFG, from_sample
 from repro.malgen.corpus import LabeledSample
 from repro.malgen.families import FAMILIES
+from repro.nn.guards import NumericalError
 from repro.obs import add_counter
 from repro.obs import span as obs_span
 
 __all__ = ["FeatureScaler", "ACFGDataset", "train_test_split"]
+
+
+def _check_scalable(features: np.ndarray, name: str) -> None:
+    """``log1p`` is only defined for finite features >= 0; a negative or
+    NaN/Inf entry would silently turn into NaN and poison training, so
+    validate before transforming."""
+    if not np.all(np.isfinite(features)):
+        raise NumericalError(
+            "features", f"graph {name!r} has NaN/Inf feature values"
+        )
+    if np.any(features < 0):
+        raise NumericalError(
+            "features",
+            f"graph {name!r} has negative feature values; log1p scaling "
+            "requires non-negative counts (quarantine hostile inputs with "
+            "on_bad_input='quarantine')",
+        )
 
 
 @dataclass
@@ -25,6 +43,11 @@ class FeatureScaler:
     on compressed, bounded inputs.  Padding rows stay exactly zero under
     this transform (log1p(0) = 0), preserving the paper's zero-feature
     padding semantics.
+
+    Features must be finite and non-negative (they are counts);
+    :meth:`fit` and :meth:`transform` raise a typed
+    :class:`~repro.nn.NumericalError` otherwise instead of letting
+    ``log1p`` of a negative value emit NaN into the pipeline.
     """
 
     scale: np.ndarray | None = None
@@ -32,6 +55,8 @@ class FeatureScaler:
     def fit(self, graphs: list[ACFG]) -> "FeatureScaler":
         if not graphs:
             raise ValueError("cannot fit scaler on empty dataset")
+        for g in graphs:
+            _check_scalable(g.features[: g.n_real], g.name)
         stacked = np.vstack([np.log1p(g.features[: g.n_real]) for g in graphs])
         scale = stacked.max(axis=0)
         scale[scale == 0.0] = 1.0
@@ -41,10 +66,74 @@ class FeatureScaler:
     def transform(self, graph: ACFG) -> ACFG:
         if self.scale is None:
             raise RuntimeError("scaler not fitted")
+        _check_scalable(graph.features, graph.name)
         transformed = np.log1p(graph.features) / self.scale
         from dataclasses import replace
 
         return replace(graph, features=transformed)
+
+
+def _sanitize_corpus(
+    corpus: list[LabeledSample], on_bad_input: str, sanitizer
+) -> tuple[list[LabeledSample], list[ACFG], "object"]:
+    """Run the :mod:`repro.harden` sanitizer over a corpus.
+
+    Returns ``(kept_samples, kept_graphs, report)``; conversion happens
+    here (inside the sample's try/except) so a sample whose CFG→ACFG
+    conversion explodes is quarantined as ``construction_error`` rather
+    than crashing ingestion.
+    """
+    # Imported here: repro.harden depends on repro.acfg.
+    from repro.harden.sanitize import (
+        GraphSanitizer,
+        HostileInputError,
+        ON_BAD_INPUT_POLICIES,
+        QuarantineRecord,
+        QuarantineReport,
+    )
+
+    if on_bad_input not in ON_BAD_INPUT_POLICIES:
+        raise ValueError(
+            f"on_bad_input must be one of {ON_BAD_INPUT_POLICIES}, "
+            f"got {on_bad_input!r}"
+        )
+    sanitizer = sanitizer or GraphSanitizer()
+    report = QuarantineReport(inspected=len(corpus))
+    kept_samples: list[LabeledSample] = []
+    kept_graphs: list[ACFG] = []
+    for sample in corpus:
+        records = sanitizer.check_sample(sample)
+        graph = None
+        try:
+            graph = from_sample(sample)
+        except Exception as error:  # hostile input can fail anywhere
+            records.append(
+                QuarantineRecord(
+                    sample.program.name,
+                    sample.family,
+                    "construction_error",
+                    f"{type(error).__name__}: {error}",
+                    "construction",
+                )
+            )
+        else:
+            records.extend(sanitizer.check_acfg(graph))
+        report.records.extend(records)
+        fatal = [r for r in records if sanitizer.is_fatal(r)]
+        if fatal:
+            if on_bad_input == "raise":
+                raise HostileInputError(fatal[0])
+            report.quarantined.append(sample.program.name)
+            add_counter("harden.quarantined")
+            for record in fatal:
+                add_counter(f"harden.quarantine.{record.reason}")
+            continue
+        if records:
+            add_counter("harden.flagged")
+        kept_samples.append(sample)
+        kept_graphs.append(graph)
+    add_counter("harden.inspected", len(corpus))
+    return kept_samples, kept_graphs, report
 
 
 class ACFGDataset:
@@ -58,6 +147,9 @@ class ACFGDataset:
             raise ValueError(f"graphs must share a padded size, got {sorted(sizes)}")
         self.graphs = list(graphs)
         self.families = tuple(families)
+        #: Ingestion quarantine report (set by ``from_corpus`` when an
+        #: ``on_bad_input`` policy was active, else None).
+        self.quarantine = None
 
     @classmethod
     def from_corpus(
@@ -66,15 +158,32 @@ class ACFGDataset:
         pad_to: int | None = None,
         families: tuple[str, ...] = FAMILIES,
         verify: str | None = None,
+        on_bad_input: str | None = None,
+        sanitizer=None,
     ) -> "ACFGDataset":
         """Convert a generated corpus, padding all graphs to a common N.
 
+        ``on_bad_input`` is the hostile-input policy
+        (:mod:`repro.harden`): ``"quarantine"`` drops samples with fatal
+        sanitizer findings (degenerate graphs, NaN/Inf/negative
+        features, failed conversions) and records them on the returned
+        dataset's ``quarantine`` report; ``"raise"`` raises
+        :class:`~repro.harden.HostileInputError` on the first fatal
+        finding; ``None`` (default) skips sanitation entirely.
+
         ``verify`` runs the :mod:`repro.staticcheck` invariant gate over
-        the corpus first: ``"strict"`` raises
+        the (post-quarantine) corpus: ``"strict"`` raises
         :class:`repro.staticcheck.CorpusVerificationError` on any
         structural violation, ``"warn"`` downgrades to a warning, and
-        ``None`` (the default) skips verification.
+        ``None`` (the default) skips verification.  Quarantine runs
+        first so hostile samples cannot crash the verifier.
         """
+        report = None
+        if on_bad_input is not None:
+            with obs_span("dataset.sanitize"):
+                corpus, graphs, report = _sanitize_corpus(
+                    corpus, on_bad_input, sanitizer
+                )
         if verify is not None:
             # Imported here: repro.staticcheck depends on repro.acfg.
             from repro.staticcheck import verify_corpus
@@ -82,7 +191,12 @@ class ACFGDataset:
             with obs_span("dataset.verify"):
                 verify_corpus(corpus, mode=verify)
         with obs_span("dataset.from_corpus"):
-            graphs = [from_sample(sample) for sample in corpus]
+            if on_bad_input is None:
+                graphs = [from_sample(sample) for sample in corpus]
+            if not graphs:
+                raise ValueError(
+                    "no graphs survived ingestion (entire corpus quarantined?)"
+                )
             max_nodes = max(g.n for g in graphs)
             if pad_to is None:
                 pad_to = max_nodes
@@ -91,7 +205,9 @@ class ACFGDataset:
                     f"pad_to={pad_to} smaller than largest graph ({max_nodes} nodes)"
                 )
             add_counter("dataset.graphs", len(graphs))
-            return cls([g.padded(pad_to) for g in graphs], families)
+            dataset = cls([g.padded(pad_to) for g in graphs], families)
+            dataset.quarantine = report
+            return dataset
 
     def __len__(self) -> int:
         return len(self.graphs)

@@ -8,7 +8,14 @@ container with labels, and a leader-based control-flow-graph builder
 producing the typed edges the paper uses (fallthrough/jump = 1, call = 2).
 """
 
-from repro.disasm.cfg import BasicBlock, CFG, EdgeKind, build_cfg, find_leaders
+from repro.disasm.cfg import (
+    BasicBlock,
+    CFG,
+    CFGBuildError,
+    EdgeKind,
+    build_cfg,
+    find_leaders,
+)
 from repro.disasm.instruction import Instruction
 from repro.disasm.isa import (
     CONDITIONAL_JUMPS,
@@ -32,6 +39,7 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "CFG",
+    "CFGBuildError",
     "BasicBlock",
     "EdgeKind",
     "build_cfg",

@@ -16,7 +16,26 @@ import numpy as np
 from repro.disasm.instruction import Instruction
 from repro.disasm.program import Program
 
-__all__ = ["BasicBlock", "CFG", "EdgeKind", "build_cfg", "find_leaders"]
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "CFGBuildError",
+    "EdgeKind",
+    "build_cfg",
+    "find_leaders",
+]
+
+
+class CFGBuildError(ValueError):
+    """A program's control flow cannot be recovered (dangling target)."""
+
+    def __init__(self, name: str, label: str) -> None:
+        super().__init__(
+            f"cannot build CFG for {name!r}: jump/call target {label!r} "
+            "is not a defined label"
+        )
+        self.program_name: str = name
+        self.label: str = label
 
 
 class EdgeKind(enum.Enum):
@@ -141,7 +160,10 @@ def build_cfg(program: Program) -> CFG:
         start_to_block[start] = index
 
     def block_of_label(label: str) -> int:
-        return start_to_block[program.labels[label]]
+        try:
+            return start_to_block[program.labels[label]]
+        except KeyError:
+            raise CFGBuildError(program.name, label) from None
 
     edges: list[tuple[int, int, EdgeKind]] = []
     for block in blocks:

@@ -62,15 +62,33 @@ def _split_operands(text: str) -> tuple[str, ...]:
     return tuple(operands)
 
 
-def parse_program(text: str, name: str = "parsed") -> Program:
+def parse_program(
+    text: str,
+    name: str = "parsed",
+    require_targets: bool = True,
+    max_instructions: int | None = None,
+    max_line_length: int | None = None,
+) -> Program:
     """Parse an assembly listing into a :class:`Program`.
 
     Raises :class:`ParseError` on malformed lines and ``ValueError`` on
     unknown mnemonics (via :class:`Instruction` validation).
+
+    The input is treated as hostile: with ``require_targets`` (default)
+    a jump/call to a local label that is never defined is a
+    :class:`ParseError` — the same invariant ``ProgramBuilder.build``
+    enforces — so CFG recovery never chases a dangling target.
+    ``max_instructions`` / ``max_line_length`` bound resource use on
+    adversarial listings (both unlimited by default).
     """
     instructions: list[Instruction] = []
+    lines_of: list[int] = []  # 1-based source line per instruction
     labels: dict[str, int] = {}
     for line_number, raw in enumerate(text.splitlines(), start=1):
+        if max_line_length is not None and len(raw) > max_line_length:
+            raise ParseError(
+                line_number, raw[:80] + "...", f"line longer than {max_line_length}"
+            )
         line = raw.split(";", 1)[0].strip()
         if not line:
             continue
@@ -87,9 +105,24 @@ def parse_program(text: str, name: str = "parsed") -> Program:
         try:
             operands = _split_operands(parts[1]) if len(parts) > 1 else ()
             instructions.append(Instruction(mnemonic, operands))
+            lines_of.append(line_number)
         except ValueError as error:
             raise ParseError(line_number, raw, str(error)) from error
+        if max_instructions is not None and len(instructions) > max_instructions:
+            raise ParseError(
+                line_number, raw, f"more than {max_instructions} instructions"
+            )
     # Anchor trailing labels the same way ProgramBuilder does.
     if any(index == len(instructions) for index in labels.values()):
         instructions.append(Instruction("ret"))
+        lines_of.append(len(text.splitlines()))
+    if require_targets:
+        for instruction, line_number in zip(instructions, lines_of):
+            target = instruction.target
+            if target is not None and target not in labels:
+                raise ParseError(
+                    line_number,
+                    str(instruction),
+                    f"jump/call target {target!r} never defined",
+                )
     return Program(instructions, labels, name)

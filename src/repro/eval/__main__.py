@@ -109,6 +109,37 @@ def parse_args() -> argparse.Namespace:
         "--workers", type=int, default=1,
         help="also trace a parallel sweep fan-out with this many workers",
     )
+
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="hostile-ingestion drill + explanation-stability benchmark",
+        description=(
+            "Inject hostile samples into a small corpus, run the full "
+            "pipeline under the quarantine policy, measure explanation "
+            "stability under perturbation, and write BENCH_stability.json "
+            "plus a RunManifest carrying the quarantine report."
+        ),
+    )
+    robustness.add_argument(
+        "--samples", type=int, default=6, help="graphs per family"
+    )
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument(
+        "--hostile-fraction", type=float, default=0.1,
+        help="fraction of hostile samples spliced into the corpus",
+    )
+    robustness.add_argument(
+        "--trials", type=int, default=2, help="perturbation trials per graph"
+    )
+    robustness.add_argument(
+        "--out", default=None,
+        help="directory for BENCH_stability.json and RUN_MANIFEST.json "
+             "(default: $REPRO_BENCH_DIR or the repo root)",
+    )
+    robustness.add_argument(
+        "--skip-stability", action="store_true",
+        help="only run the hostile-ingestion drill (fast smoke mode)",
+    )
     return parser.parse_args()
 
 
@@ -173,6 +204,20 @@ def run_verify(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"\n{'OK' if report.ok else 'VIOLATIONS FOUND'} in {time.time() - start:.1f}s")
     return 0 if report.ok else 1
+
+
+def run_robustness(args: argparse.Namespace) -> int:
+    """The ``robustness`` subcommand: quarantine drill + stability table."""
+    from repro.eval.robustness import run_robustness_drill
+
+    return run_robustness_drill(
+        samples_per_family=args.samples,
+        seed=args.seed,
+        hostile_fraction=args.hostile_fraction,
+        trials=args.trials,
+        out_dir=args.out,
+        skip_stability=args.skip_stability,
+    )
 
 
 def run_evaluation(args: argparse.Namespace) -> int:
@@ -260,6 +305,8 @@ def main() -> None:
         sys.exit(run_verify(args))
     if command == "profile":
         sys.exit(run_profile(args))
+    if command == "robustness":
+        sys.exit(run_robustness(args))
     sys.exit(run_evaluation(args))
 
 

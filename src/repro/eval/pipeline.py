@@ -13,8 +13,12 @@ import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # import kept lazy at runtime, like staticcheck's
+    from repro.harden.sanitize import QuarantineReport
 
 from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
 from repro.baselines import (
@@ -110,6 +114,13 @@ class ExperimentConfig:
     #: warning, None skips verification.
     verify_mode: str | None = "strict"
 
+    #: Hostile-input ingestion policy (repro.harden): "quarantine" drops
+    #: samples with fatal sanitizer findings and reports them on the
+    #: artifacts, "raise" aborts on the first one, None (default) trusts
+    #: the corpus.  Quarantine runs before the verify gate so hostile
+    #: samples cannot crash the verifier.
+    on_bad_input: str | None = None
+
     # execution (repro.exec scheduler)
     #: Worker processes for the per-family sweeps and timing loops.
     #: 1 keeps the exact serial reference path (no subprocesses).
@@ -142,6 +153,11 @@ class ExperimentConfig:
             raise ValueError(
                 f"verify_mode must be None, 'strict' or 'warn', got "
                 f"{self.verify_mode!r}"
+            )
+        if self.on_bad_input not in (None, "quarantine", "raise"):
+            raise ValueError(
+                f"on_bad_input must be None, 'quarantine' or 'raise', got "
+                f"{self.on_bad_input!r}"
             )
         if self.num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -182,6 +198,9 @@ class PipelineArtifacts:
     #: explainer training and the experiments read Z / predictions from
     #: it instead of re-running Φ.
     embedding_cache: EmbeddingCache | None = None
+    #: Ingestion quarantine report (repro.harden), present when the
+    #: config's ``on_bad_input`` policy was active.
+    quarantine: "QuarantineReport | None" = None
 
     def sample_for(self, graph_name: str) -> LabeledSample:
         return self.samples_by_name[graph_name]
@@ -235,7 +254,9 @@ def build_untrained_artifacts(config: ExperimentConfig) -> PipelineArtifacts:
         seed=config.corpus_seed,
         size_multiplier=config.size_multiplier,
     )
-    dataset = ACFGDataset.from_corpus(corpus, verify=None)
+    dataset = ACFGDataset.from_corpus(
+        corpus, verify=None, on_bad_input=config.on_bad_input
+    )
     train_raw, test_raw = train_test_split(
         dataset, config.test_fraction, seed=config.seed
     )
@@ -279,6 +300,7 @@ def build_untrained_artifacts(config: ExperimentConfig) -> PipelineArtifacts:
         explainers=explainers,
         samples_by_name={s.program.name: s for s in corpus},
         embedding_cache=embedding_cache,
+        quarantine=dataset.quarantine,
     )
 
 
@@ -287,6 +309,7 @@ def run_pipeline(
     verbose: bool = False,
     resume_from: str | Path | None = None,
     stop_after: str | None = None,
+    corpus_transform=None,
 ) -> PipelineArtifacts:
     """Run the whole setup stage and return the experiment artifacts.
 
@@ -305,6 +328,13 @@ def run_pipeline(
     ``num_workers`` may differ).  ``stop_after`` (requires
     ``resume_from``) raises :class:`PipelineInterrupted` right after the
     named stage persists, simulating a mid-run crash.
+
+    ``corpus_transform`` is an optional hook applied to the freshly
+    generated corpus before dataset construction — the robustness drill
+    uses it to splice in hostile samples
+    (:func:`repro.harden.inject_hostile`) that the config's
+    ``on_bad_input`` policy must then quarantine.  It runs only on
+    generation, never on a corpus restored from a checkpoint.
     """
     config = config or ExperimentConfig()
     rng_seed = config.seed
@@ -349,6 +379,8 @@ def run_pipeline(
                 seed=config.corpus_seed,
                 size_multiplier=config.size_multiplier,
             )
+            if corpus_transform is not None:
+                corpus = corpus_transform(corpus)
             if store is not None:
                 with store.writing("corpus") as tmp:
                     (tmp / "corpus.pkl").write_bytes(pickle.dumps(corpus))
@@ -360,7 +392,9 @@ def run_pipeline(
         # A restored corpus already passed the invariant gate on the
         # original run; don't pay for re-verification.
         dataset = ACFGDataset.from_corpus(
-            corpus, verify=None if dataset_restored else config.verify_mode
+            corpus,
+            verify=None if dataset_restored else config.verify_mode,
+            on_bad_input=config.on_bad_input,
         )
         train_raw, test_raw = train_test_split(
             dataset, config.test_fraction, seed=rng_seed
@@ -538,4 +572,5 @@ def run_pipeline(
         offline_training_seconds=offline,
         samples_by_name={s.program.name: s for s in corpus},
         embedding_cache=embedding_cache,
+        quarantine=dataset.quarantine,
     )

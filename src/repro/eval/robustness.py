@@ -1,0 +1,137 @@
+"""The robustness drill: hostile ingestion + explanation stability.
+
+Behind ``python -m repro.eval robustness``.  The drill answers two
+questions an operator of this pipeline should be able to answer on
+demand:
+
+1. **Does ingestion survive a hostile feed?**  A fraction of
+   deliberately malformed samples (:func:`repro.harden.inject_hostile`)
+   is spliced into a freshly generated corpus and the *full* pipeline —
+   dataset, GNN training, explainer training — runs under
+   ``on_bad_input="quarantine"``.  The run must complete, every
+   injected sample must be quarantined, and the quarantine report lands
+   in the :class:`~repro.obs.RunManifest`.
+2. **Do explanations survive benign perturbation?**  The
+   :mod:`repro.eval.stability` benchmark perturbs held-out graphs and
+   reports top-k overlap and rank correlation per explainer, writing
+   ``BENCH_stability.json`` for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.eval.pipeline import ExperimentConfig, run_pipeline
+from repro.eval.stability import (
+    StabilityConfig,
+    format_stability_table,
+    run_stability,
+    write_stability_bench,
+)
+from repro.harden import inject_hostile
+from repro.obs import RunManifest, span, tracing
+
+__all__ = ["DRILL_CONFIG", "run_robustness_drill"]
+
+#: Small-but-complete training knobs (PROFILE_CONFIG-sized) with the
+#: quarantine policy on — the whole point of the drill.
+DRILL_CONFIG = ExperimentConfig(
+    samples_per_family=6,
+    size_multiplier=1,
+    gnn_epochs=30,
+    explainer_epochs=60,
+    gnnexplainer_epochs=10,
+    pgexplainer_epochs=4,
+    subgraphx_iterations=8,
+    subgraphx_shapley_samples=2,
+    step_size=20,
+    on_bad_input="quarantine",
+)
+
+
+def run_robustness_drill(
+    samples_per_family: int = 6,
+    seed: int = 0,
+    hostile_fraction: float = 0.1,
+    trials: int = 2,
+    out_dir: str | Path | None = None,
+    skip_stability: bool = False,
+    verbose: bool = False,
+) -> int:
+    """Run the drill; returns a process exit code (0 = all invariants held)."""
+    from dataclasses import replace
+
+    config = replace(
+        DRILL_CONFIG, samples_per_family=samples_per_family, seed=seed
+    )
+    if out_dir is None:
+        from repro.tools.bench_compare import default_bench_dir
+
+        out_dir = default_bench_dir()
+    out_dir = Path(out_dir)
+
+    injected: list[str] = []
+
+    def transform(corpus):
+        hostile_corpus, names = inject_hostile(
+            corpus, fraction=hostile_fraction, seed=seed
+        )
+        injected.extend(names)
+        return hostile_corpus
+
+    manifest = RunManifest.capture(
+        config=config,
+        seed=seed,
+        extra={"drill": "robustness", "hostile_fraction": hostile_fraction},
+    )
+    print(
+        f"# Robustness drill ({samples_per_family} samples/family, "
+        f"{hostile_fraction:.0%} hostile, seed {seed})\n"
+    )
+    with tracing() as tracer:
+        with span("run"):
+            artifacts = run_pipeline(
+                config, verbose=verbose, corpus_transform=transform
+            )
+            rows = None
+            if not skip_stability:
+                rows = run_stability(
+                    artifacts,
+                    StabilityConfig(trials=trials, seed=seed,
+                                    step_size=config.step_size),
+                )
+
+    report = artifacts.quarantine
+    print("## Ingestion quarantine\n")
+    print(report.summary())
+    quarantined = set(report.quarantined)
+    missed = [name for name in injected if name not in quarantined]
+    unexpected = sorted(quarantined - set(injected))
+    print(
+        f"\ninjected {len(injected)} hostile sample(s); "
+        f"{len(quarantined)} quarantined"
+    )
+    ok = not missed
+    if missed:
+        print(f"MISSED hostile sample(s): {missed}")
+    if unexpected:
+        # Legitimate samples getting dropped is worth surfacing, but a
+        # stricter sanitizer config is not an invariant failure.
+        print(f"note: quarantined beyond the injected set: {unexpected}")
+    print(f"\nGNN test accuracy (post-quarantine): "
+          f"{artifacts.gnn_test_accuracy:.3f}")
+
+    bench_path = None
+    if rows is not None:
+        print("\n## Explanation stability\n")
+        print(format_stability_table(rows))
+        bench_path = write_stability_bench(rows, out_dir / "BENCH_stability.json")
+        print(f"\nwrote {bench_path}")
+
+    manifest.extra["quarantine"] = report.to_dict()
+    manifest.extra["hostile_injected"] = sorted(injected)
+    manifest.finalize(tracer)
+    manifest_path = manifest.write(out_dir / "RUN_MANIFEST.json")
+    print(f"manifest: {manifest_path}")
+    print(f"\n{'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1

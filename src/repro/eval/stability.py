@@ -1,0 +1,389 @@
+"""Explanation-stability benchmark under input perturbation.
+
+A useful explanation must be *stable*: small, semantics-preserving
+changes to a binary (an extra semantic NOP, a dropped edge in CFG
+recovery, feature noise from a different disassembler) should not
+reshuffle which blocks an explainer calls important — otherwise an
+analyst sees a different story every time the sample is repacked.
+
+For each explainer × family × perturbation this module explains a base
+graph and its perturbed variants, then reports
+
+* **Jaccard@k** — overlap of the top-``k`` ranked blocks (``k`` =
+  ``top_fraction`` of real nodes), the set an analyst actually reads;
+* **Spearman** — rank correlation of the full node-score vectors.
+
+Three perturbations, all seeded and deterministic:
+
+* ``edge_dropout`` — each real edge removed independently;
+* ``feature_noise`` — multiplicative Gaussian noise on real features;
+* ``semantic_nop`` — semantic NOPs (``nop``, ``mov eax, eax``)
+  inserted mid-block into the *assembly*, then re-parsed through the
+  full CFG → features path (the adversary's cheapest evasion).  Blocks
+  are never split, so node indices stay comparable; a trial that would
+  change the block count is skipped and counted.
+
+``write_stability_bench`` emits ``BENCH_stability.json`` gated by
+:mod:`repro.tools.bench_compare` (absolute-drop policies).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, replace as dc_replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.acfg.graph import ACFG, from_sample
+from repro.disasm.instruction import Instruction
+from repro.disasm.program import Program
+from repro.malgen.corpus import LabeledSample, block_motif_tags
+from repro.obs import span as obs_span
+
+__all__ = [
+    "PERTURBATIONS",
+    "StabilityConfig",
+    "StabilityRow",
+    "format_stability_table",
+    "perturb_edge_dropout",
+    "perturb_feature_noise",
+    "perturb_semantic_nop",
+    "run_stability",
+    "stability_bench_payload",
+    "write_stability_bench",
+]
+
+PERTURBATIONS = ("edge_dropout", "feature_noise", "semantic_nop")
+
+#: Provably effect-free instructions the semantic-NOP perturbation inserts.
+_SEMANTIC_NOPS = (
+    Instruction("nop"),
+    Instruction("mov", ("eax", "eax")),
+    Instruction("mov", ("ebx", "ebx")),
+    Instruction("xchg", ("ecx", "ecx")),
+)
+
+
+@dataclass(frozen=True)
+class StabilityConfig:
+    """Benchmark knobs; everything is driven by ``seed``."""
+
+    perturbations: tuple[str, ...] = PERTURBATIONS
+    trials: int = 2
+    seed: int = 0
+    graphs_per_family: int = 1
+    edge_dropout_rate: float = 0.1
+    feature_noise_scale: float = 0.05
+    nop_insertions: int = 3
+    #: Fraction of real nodes in the compared top-k set.
+    top_fraction: float = 0.2
+    step_size: int = 50
+
+    def __post_init__(self):
+        unknown = set(self.perturbations) - set(PERTURBATIONS)
+        if unknown:
+            raise ValueError(f"unknown perturbations {sorted(unknown)}")
+        if self.trials <= 0 or self.graphs_per_family <= 0:
+            raise ValueError("trials and graphs_per_family must be positive")
+        if not 0.0 < self.top_fraction <= 1.0:
+            raise ValueError("top_fraction must be in (0, 1]")
+
+
+@dataclass
+class StabilityRow:
+    """Aggregated stability of one explainer × family × perturbation."""
+
+    explainer: str
+    family: str
+    perturbation: str
+    jaccard: float
+    spearman: float
+    trials: int
+    skipped: int = 0
+
+
+# ----------------------------------------------------------------------
+# perturbations
+# ----------------------------------------------------------------------
+def perturb_edge_dropout(
+    graph: ACFG, rng: np.random.Generator, rate: float
+) -> ACFG:
+    """Drop each real edge independently with probability ``rate``.
+
+    At least one edge always survives (a fully disconnected variant
+    would measure the explainers' degenerate-input path, not
+    stability).  Graphs without edges come back unchanged.
+    """
+    adjacency = graph.adjacency.copy()
+    real = adjacency[: graph.n_real, : graph.n_real]
+    sources, targets = np.nonzero(real)
+    if sources.size == 0:
+        return graph
+    drop = rng.random(sources.size) < rate
+    if drop.all():
+        drop[int(rng.integers(0, drop.size))] = False
+    real[sources[drop], targets[drop]] = 0.0
+    adjacency[: graph.n_real, : graph.n_real] = real
+    return dc_replace(graph, adjacency=adjacency, features=graph.features.copy())
+
+
+def perturb_feature_noise(
+    graph: ACFG, rng: np.random.Generator, scale: float
+) -> ACFG:
+    """Multiplicative Gaussian noise on real-node features.
+
+    Features stay non-negative (they are scaled counts), so the
+    perturbed graph still passes the ingestion sanitizer.
+    """
+    features = graph.features.copy()
+    noise = 1.0 + scale * rng.standard_normal(features[: graph.n_real].shape)
+    features[: graph.n_real] = np.clip(features[: graph.n_real] * noise, 0.0, None)
+    return dc_replace(graph, adjacency=graph.adjacency.copy(), features=features)
+
+
+def _insertion_points(sample: LabeledSample) -> list[int]:
+    """Instruction indices where an inserted non-jump cannot split a block.
+
+    Strictly-interior positions of multi-instruction blocks: no label
+    points there (labels are always block starts) and the preceding
+    instruction cannot be a block terminator.
+    """
+    points: list[int] = []
+    for block in sample.cfg.blocks:
+        points.extend(range(block.start + 1, block.start + len(block.instructions)))
+    return points
+
+
+def perturb_semantic_nop(
+    sample: LabeledSample, rng: np.random.Generator, insertions: int
+) -> LabeledSample | None:
+    """Insert semantic NOPs mid-block and re-derive the CFG.
+
+    Returns ``None`` when the program has no safe insertion point or
+    the rebuilt CFG changed its block count (node rankings would not be
+    comparable) — callers count that as a skipped trial.
+    """
+    from repro.disasm.cfg import build_cfg
+
+    points = _insertion_points(sample)
+    if not points:
+        return None
+    instructions = list(sample.program.instructions)
+    labels = dict(sample.program.labels)
+    for _ in range(insertions):
+        position = points[int(rng.integers(0, len(points)))]
+        nop = _SEMANTIC_NOPS[int(rng.integers(0, len(_SEMANTIC_NOPS)))]
+        instructions.insert(position, nop)
+        labels = {
+            name: index + 1 if index >= position else index
+            for name, index in labels.items()
+        }
+        points = [p + 1 if p >= position else p for p in points]
+    program = Program(instructions, labels, sample.program.name + "+nops")
+    cfg = build_cfg(program)
+    if cfg.node_count != sample.cfg.node_count:
+        return None
+    return LabeledSample(
+        program=program,
+        cfg=cfg,
+        family=sample.family,
+        label=sample.label,
+        motif_spans=list(sample.motif_spans),
+        block_tags=block_motif_tags(cfg, list(sample.motif_spans)),
+    )
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(values.size, dtype=float)
+    for value in np.unique(values):
+        mask = values == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation with tie-averaged ranks.
+
+    Degenerate (constant) score vectors correlate 1.0 with each other
+    and 0.0 with anything informative.
+    """
+    if a.size != b.size or a.size == 0:
+        raise ValueError("score vectors must be equal-length and non-empty")
+    ra, rb = _average_ranks(a), _average_ranks(b)
+    sa, sb = ra.std(), rb.std()
+    if sa == 0.0 or sb == 0.0:
+        return 1.0 if sa == sb == 0.0 else 0.0
+    return float(((ra - ra.mean()) * (rb - rb.mean())).mean() / (sa * sb))
+
+
+def _stable(text: str) -> int:
+    """Deterministic 32-bit hash of a string (independent of hash seed)."""
+    return zlib.crc32(text.encode())
+
+
+def _jaccard_top_k(
+    order_a: np.ndarray, order_b: np.ndarray, k: int
+) -> float:
+    top_a, top_b = set(order_a[:k].tolist()), set(order_b[:k].tolist())
+    union = top_a | top_b
+    return len(top_a & top_b) / len(union) if union else 1.0
+
+
+# ----------------------------------------------------------------------
+# the benchmark
+# ----------------------------------------------------------------------
+def run_stability(artifacts, config: StabilityConfig | None = None) -> list[StabilityRow]:
+    """Measure explanation stability on the test split.
+
+    ``artifacts`` is a :class:`~repro.eval.pipeline.PipelineArtifacts`
+    (trained models, scaler, original samples); returns one row per
+    explainer × family × perturbation, aggregated over
+    ``graphs_per_family`` graphs × ``trials`` seeded trials.
+    """
+    config = config or StabilityConfig()
+    rows: list[StabilityRow] = []
+    with obs_span("eval.stability"):
+        for family in artifacts.test_set.families:
+            members = sorted(
+                artifacts.test_set.of_family(family), key=lambda g: g.name
+            )[: config.graphs_per_family]
+            if not members:
+                continue
+            for name, explainer in artifacts.explainers.items():
+                base = {
+                    g.name: explainer.explain(g, step_size=config.step_size)
+                    for g in members
+                }
+                for perturbation in config.perturbations:
+                    rows.append(
+                        _stability_row(
+                            artifacts, config, family, name, explainer,
+                            members, base, perturbation,
+                        )
+                    )
+    return rows
+
+
+def _perturbed_variant(
+    artifacts, config: StabilityConfig, graph: ACFG, perturbation: str,
+    rng: np.random.Generator,
+) -> ACFG | None:
+    if perturbation == "edge_dropout":
+        return perturb_edge_dropout(graph, rng, config.edge_dropout_rate)
+    if perturbation == "feature_noise":
+        return perturb_feature_noise(graph, rng, config.feature_noise_scale)
+    sample = artifacts.sample_for(graph.name)
+    perturbed = perturb_semantic_nop(sample, rng, config.nop_insertions)
+    if perturbed is None:
+        return None
+    rebuilt = from_sample(perturbed, pad_to=graph.n)
+    return artifacts.scaler.transform(rebuilt)
+
+
+def _stability_row(
+    artifacts, config: StabilityConfig, family: str, name: str, explainer,
+    members: list[ACFG], base: dict, perturbation: str,
+) -> StabilityRow:
+    jaccards: list[float] = []
+    spearmans: list[float] = []
+    skipped = 0
+    for graph in members:
+        reference = base[graph.name]
+        k = max(1, int(round(config.top_fraction * graph.n_real)))
+        for trial in range(config.trials):
+            # One private, reproducible stream per measurement cell
+            # (crc32, not hash(): PYTHONHASHSEED must not leak in).
+            rng = np.random.default_rng(
+                (config.seed, _stable(family), _stable(name),
+                 _stable(perturbation), _stable(graph.name), trial)
+            )
+            variant = _perturbed_variant(
+                artifacts, config, graph, perturbation, rng
+            )
+            if variant is None:
+                skipped += 1
+                continue
+            explanation = explainer.explain(variant, step_size=config.step_size)
+            jaccards.append(
+                _jaccard_top_k(reference.node_order, explanation.node_order, k)
+            )
+            spearmans.append(
+                _spearman(
+                    np.asarray(reference.node_scores, dtype=float),
+                    np.asarray(explanation.node_scores, dtype=float),
+                )
+            )
+    return StabilityRow(
+        explainer=name,
+        family=family,
+        perturbation=perturbation,
+        jaccard=float(np.mean(jaccards)) if jaccards else float("nan"),
+        spearman=float(np.mean(spearmans)) if spearmans else float("nan"),
+        trials=len(jaccards),
+        skipped=skipped,
+    )
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def format_stability_table(rows: list[StabilityRow]) -> str:
+    """Per-explainer × perturbation table, families aggregated."""
+    header = (
+        f"{'explainer':<14} {'perturbation':<14} {'Jaccard@k':>10} "
+        f"{'Spearman':>10} {'trials':>7} {'skipped':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for (explainer, perturbation), group in _grouped(rows).items():
+        jaccard = _nanmean([r.jaccard for r in group])
+        spearman = _nanmean([r.spearman for r in group])
+        trials = sum(r.trials for r in group)
+        skipped = sum(r.skipped for r in group)
+        lines.append(
+            f"{explainer:<14} {perturbation:<14} {jaccard:>10.3f} "
+            f"{spearman:>10.3f} {trials:>7d} {skipped:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def _grouped(rows: list[StabilityRow]) -> dict:
+    grouped: dict[tuple[str, str], list[StabilityRow]] = {}
+    for row in rows:
+        grouped.setdefault((row.explainer, row.perturbation), []).append(row)
+    return grouped
+
+
+def _nanmean(values: list[float]) -> float:
+    finite = [v for v in values if np.isfinite(v)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
+def stability_bench_payload(rows: list[StabilityRow]) -> dict:
+    """The ``BENCH_stability.json`` payload (families aggregated).
+
+    Leaves named ``jaccard`` / ``spearman`` are gated by
+    :mod:`repro.tools.bench_compare`'s absolute-drop policies; trial
+    counts ride along informationally.
+    """
+    payload: dict = {}
+    for (explainer, perturbation), group in _grouped(rows).items():
+        cell = payload.setdefault(explainer, {}).setdefault(perturbation, {})
+        cell["jaccard"] = round(_nanmean([r.jaccard for r in group]), 4)
+        cell["spearman"] = round(_nanmean([r.spearman for r in group]), 4)
+        cell["trials"] = sum(r.trials for r in group)
+    return payload
+
+
+def write_stability_bench(rows: list[StabilityRow], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(stability_bench_payload(rows), indent=2) + "\n")
+    return path

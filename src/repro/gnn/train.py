@@ -14,6 +14,15 @@ The two modes compute the same loss (a block-diagonal Â applied to
 stacked features is per-graph GCN propagation, and the batched
 cross-entropy is the mean of the per-graph terms), so switching modes
 changes wall-clock, not math.
+
+Numerical guards (``repro.nn.guards``) watch every step: a NaN/Inf
+loss or gradient raises a typed :class:`~repro.nn.NumericalError` at
+the step that produced it instead of silently poisoning the weights;
+``max_grad_norm`` adds global-norm gradient clipping; and loss-spike
+recovery (``loss_spike_factor`` / non-finite losses) rolls the model
+and optimizer back to the last good epoch snapshot and backs off the
+learning rate rather than killing the run — the input domain is
+hostile, and one degenerate batch should degrade a run, not end it.
 """
 
 from __future__ import annotations
@@ -25,8 +34,15 @@ import numpy as np
 from repro.acfg.dataset import ACFGDataset
 from repro.gnn.batch import BatchPacker, GraphBatch
 from repro.gnn.model import GCNClassifier
-from repro.nn import Adam, cross_entropy, cross_entropy_batch
-from repro.obs import span as obs_span
+from repro.nn import (
+    Adam,
+    NumericalError,
+    clip_grad_norm,
+    cross_entropy,
+    cross_entropy_batch,
+    grad_norm,
+)
+from repro.obs import add_counter, span as obs_span
 
 __all__ = ["TrainingHistory", "train_gnn", "evaluate_accuracy"]
 
@@ -37,10 +53,17 @@ TRAINING_MODES = ("batched", "per_graph")
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch loss and (optional) held-out accuracy."""
+    """Per-epoch loss and (optional) held-out accuracy.
+
+    ``recovered_epochs`` lists the (0-based) epoch indices abandoned by
+    loss-spike recovery: their loss is not appended, the model was
+    rolled back to the previous good snapshot, and the learning rate
+    was backed off before the next epoch.
+    """
 
     losses: list[float] = field(default_factory=list)
     accuracies: list[float] = field(default_factory=list)
+    recovered_epochs: list[int] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -57,12 +80,34 @@ def train_gnn(
     eval_set: ACFGDataset | None = None,
     mode: str = "batched",
     verbose: bool = False,
+    guard: bool = True,
+    max_grad_norm: float | None = None,
+    loss_spike_factor: float | None = None,
+    max_recoveries: int = 3,
+    lr_backoff: float = 0.5,
 ) -> TrainingHistory:
-    """Mini-batch Adam training with cross-entropy on true labels."""
+    """Mini-batch Adam training with cross-entropy on true labels.
+
+    Guard semantics:
+
+    * ``guard`` (default on) checks every step's loss and gradient norm
+      for NaN/Inf.  The checks never change a finite run's numbers.
+    * ``max_grad_norm`` clips gradients to that global L2 norm.
+    * A non-finite step — or, with ``loss_spike_factor`` set, an epoch
+      whose mean loss exceeds ``loss_spike_factor`` times the last good
+      epoch's — triggers recovery: restore the last good epoch's model
+      and optimizer state, multiply the learning rate by ``lr_backoff``,
+      and move on.  After ``max_recoveries`` recoveries the next trigger
+      re-raises :class:`~repro.nn.NumericalError`.
+    """
     if epochs <= 0 or batch_size <= 0:
         raise ValueError("epochs and batch_size must be positive")
     if mode not in TRAINING_MODES:
         raise ValueError(f"mode must be one of {TRAINING_MODES}, got {mode!r}")
+    if loss_spike_factor is not None and loss_spike_factor <= 1.0:
+        raise ValueError("loss_spike_factor must be > 1 (relative spike)")
+    if lr_backoff <= 0 or lr_backoff >= 1:
+        raise ValueError("lr_backoff must be in (0, 1)")
     if not hasattr(model, "forward_batch"):
         # Alternative Φ implementations (e.g. DGCNN) that predate the
         # batched engine fall back to the reference loop.
@@ -76,22 +121,68 @@ def train_gnn(
         else None
     )
 
+    # Last epoch snapshot known to be numerically healthy; epoch -1 is
+    # the freshly initialized model, so recovery is possible even when
+    # the very first epoch diverges.
+    good_state = optimizer.state_dict() if guard else None
+    good_loss: float | None = None
+    recoveries = 0
+
+    def recover(epoch: int, error: NumericalError | None) -> None:
+        nonlocal recoveries
+        if good_state is None:  # guards disabled: nothing to roll back to
+            raise error or NumericalError("loss", f"epoch {epoch}: loss spike")
+        recoveries += 1
+        if recoveries > max_recoveries:
+            raise error or NumericalError(
+                "loss", f"epoch {epoch}: recovery budget exhausted"
+            )
+        optimizer.load_state_dict(good_state)
+        optimizer.lr *= lr_backoff
+        history.recovered_epochs.append(epoch)
+        add_counter("train.recoveries")
+        if verbose:
+            reason = error.where if error is not None else "loss spike"
+            print(
+                f"epoch {epoch + 1:3d}  RECOVERED ({reason}); "
+                f"lr backed off to {optimizer.lr:.2e}"
+            )
+
     with obs_span(f"train.gnn.{mode}") as train_span:
         for epoch in range(epochs):
             order = rng.permutation(len(train_set))
             epoch_loss = 0.0
-            with obs_span("train.epoch") as epoch_span:
-                if packer is not None:
-                    for batch in packer.batches(batch_size, order=order):
-                        epoch_loss += _batched_step(model, optimizer, batch)
-                else:
-                    for start in range(0, len(order), batch_size):
-                        indices = order[start : start + batch_size]
-                        epoch_loss += _per_graph_step(
-                            model, optimizer, train_set, indices
-                        )
-                epoch_span.add("train.graphs", len(order))
-            history.losses.append(epoch_loss / len(order))
+            try:
+                with obs_span("train.epoch") as epoch_span:
+                    if packer is not None:
+                        for batch in packer.batches(batch_size, order=order):
+                            epoch_loss += _batched_step(
+                                model, optimizer, batch, guard, max_grad_norm
+                            )
+                    else:
+                        for start in range(0, len(order), batch_size):
+                            indices = order[start : start + batch_size]
+                            epoch_loss += _per_graph_step(
+                                model, optimizer, train_set, indices,
+                                guard, max_grad_norm,
+                            )
+                    epoch_span.add("train.graphs", len(order))
+            except NumericalError as error:
+                recover(epoch, error)
+                continue
+            mean_loss = epoch_loss / len(order)
+            if (
+                guard
+                and loss_spike_factor is not None
+                and good_loss is not None
+                and mean_loss > loss_spike_factor * good_loss
+            ):
+                recover(epoch, None)
+                continue
+            if guard:
+                good_state = optimizer.state_dict()
+                good_loss = mean_loss
+            history.losses.append(mean_loss)
             if eval_set is not None:
                 history.accuracies.append(evaluate_accuracy(model, eval_set))
             if verbose:
@@ -101,16 +192,36 @@ def train_gnn(
     return history
 
 
+def _guarded_update(
+    optimizer: Adam, guard: bool, max_grad_norm: float | None
+) -> None:
+    """Clip / validate gradients, then apply the optimizer step."""
+    if max_grad_norm is not None:
+        clip_grad_norm(optimizer.parameters, max_grad_norm)
+    elif guard:
+        norm = grad_norm(optimizer.parameters)
+        if not np.isfinite(norm):
+            raise NumericalError("gradient", f"gradient norm is {norm!r}")
+    optimizer.step()
+
+
 def _batched_step(
-    model: GCNClassifier, optimizer: Adam, batch: GraphBatch
+    model: GCNClassifier,
+    optimizer: Adam,
+    batch: GraphBatch,
+    guard: bool = True,
+    max_grad_norm: float | None = None,
 ) -> float:
     """One forward/backward over a packed batch; returns summed loss."""
     optimizer.zero_grad()
     _, logits = model.forward_batch(batch)
     loss = cross_entropy_batch(logits, batch.labels)
+    value = loss.item()
+    if guard and not np.isfinite(value):
+        raise NumericalError("loss", f"batched step produced {value!r}")
     loss.backward()
-    optimizer.step()
-    return loss.item() * batch.num_graphs
+    _guarded_update(optimizer, guard, max_grad_norm)
+    return value * batch.num_graphs
 
 
 def _per_graph_step(
@@ -118,6 +229,8 @@ def _per_graph_step(
     optimizer: Adam,
     train_set: ACFGDataset,
     indices: np.ndarray,
+    guard: bool = True,
+    max_grad_norm: float | None = None,
 ) -> float:
     """The seed's reference loop: one dense pass per graph."""
     optimizer.zero_grad()
@@ -128,9 +241,12 @@ def _per_graph_step(
         loss = cross_entropy(model.logits(z), graph.label)
         batch_loss = loss if batch_loss is None else batch_loss + loss
     batch_loss = batch_loss * (1.0 / len(indices))
+    value = batch_loss.item()
+    if guard and not np.isfinite(value):
+        raise NumericalError("loss", f"per-graph step produced {value!r}")
     batch_loss.backward()
-    optimizer.step()
-    return batch_loss.item() * len(indices)
+    _guarded_update(optimizer, guard, max_grad_norm)
+    return value * len(indices)
 
 
 def evaluate_accuracy(

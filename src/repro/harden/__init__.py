@@ -1,0 +1,44 @@
+"""Hostile-input hardening: ingestion quarantine + structured fuzzing.
+
+The classifier's input domain is adversarial by construction — malware
+authors control the binaries that become CFGs.  This package holds the
+defenses: :mod:`repro.harden.sanitize` quarantines degenerate or
+corrupted graphs at ingestion (the ``on_bad_input`` policy on
+:meth:`repro.acfg.dataset.ACFGDataset.from_corpus` and the eval
+pipeline), :mod:`repro.harden.hostile` fabricates hostile corpus
+samples for tests and drills, and :mod:`repro.harden.fuzz` is the
+deterministic structured fuzzer that drives mutated inputs through
+parser → CFG → features → GNN → explainers asserting typed-rejection
+/ no-crash / no-NaN invariants.
+"""
+
+from repro.harden.fuzz import CrashRepro, FuzzConfig, FuzzReport, run_fuzz
+from repro.harden.hostile import HOSTILE_KINDS, hostile_sample, inject_hostile
+from repro.harden.sanitize import (
+    DEFAULT_QUARANTINE_REASONS,
+    FLAG_REASONS,
+    GraphSanitizer,
+    HostileInputError,
+    ON_BAD_INPUT_POLICIES,
+    QuarantineRecord,
+    QuarantineReport,
+    sanitize_graphs,
+)
+
+__all__ = [
+    "DEFAULT_QUARANTINE_REASONS",
+    "FLAG_REASONS",
+    "GraphSanitizer",
+    "HostileInputError",
+    "ON_BAD_INPUT_POLICIES",
+    "QuarantineRecord",
+    "QuarantineReport",
+    "sanitize_graphs",
+    "HOSTILE_KINDS",
+    "hostile_sample",
+    "inject_hostile",
+    "CrashRepro",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+]

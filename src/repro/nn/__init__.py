@@ -6,6 +6,13 @@ functions used by the GNN classifier and CFGExplainer — implemented
 without any deep-learning framework.
 """
 
+from repro.nn.guards import (
+    NumericalError,
+    assert_finite,
+    assert_finite_array,
+    clip_grad_norm,
+    grad_norm,
+)
 from repro.nn.init import glorot_uniform, he_normal, zeros_init
 from repro.nn.layers import Dense, GCNConv, Module, Sequential
 from repro.nn.losses import (
@@ -21,6 +28,11 @@ from repro.nn.sparse import CSRMatrix, csr_matmul, segment_max, segment_sum
 from repro.nn.tensor import Tensor, no_grad
 
 __all__ = [
+    "NumericalError",
+    "assert_finite",
+    "assert_finite_array",
+    "clip_grad_norm",
+    "grad_norm",
     "Tensor",
     "no_grad",
     "CSRMatrix",

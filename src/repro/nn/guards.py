@@ -1,0 +1,94 @@
+"""Numerical guards: typed NaN/Inf detection and gradient clipping.
+
+The training loops consume data that is adversarial by construction
+(malware authors control the binaries that become our graphs), so a
+single degenerate sample can push a loss or gradient to NaN/Inf and
+silently poison every later update.  These helpers turn that silent
+corruption into a typed :class:`NumericalError` at the step where it
+first appears, and give optimizers a global-norm gradient clip to keep
+hostile batches from blowing up the weights in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "NumericalError",
+    "assert_finite",
+    "assert_finite_array",
+    "clip_grad_norm",
+    "grad_norm",
+]
+
+
+class NumericalError(ArithmeticError):
+    """A NaN/Inf (or otherwise invalid) value reached a numeric path.
+
+    ``where`` names the quantity that went bad (``"loss"``,
+    ``"gradient"``, ``"features"``); ``context`` carries free-form
+    diagnostic detail (epoch, batch, offending value).
+    """
+
+    def __init__(self, where: str, detail: str = "", context: dict | None = None):
+        message = f"non-finite value in {where}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.where = where
+        self.detail = detail
+        self.context = dict(context or {})
+
+
+def assert_finite(value: float, where: str, context: dict | None = None) -> float:
+    """Return ``value`` unchanged, raising :class:`NumericalError` if it
+    is NaN or infinite."""
+    if not math.isfinite(value):
+        raise NumericalError(where, f"got {value!r}", context)
+    return value
+
+
+def assert_finite_array(
+    array: np.ndarray, where: str, context: dict | None = None
+) -> np.ndarray:
+    """Return ``array`` unchanged, raising on any NaN/Inf entry."""
+    if not np.all(np.isfinite(array)):
+        bad = int(np.size(array) - np.count_nonzero(np.isfinite(array)))
+        raise NumericalError(where, f"{bad} non-finite element(s)", context)
+    return array
+
+
+def grad_norm(parameters: Sequence[Tensor]) -> float:
+    """Global L2 norm over every parameter gradient (missing grads = 0)."""
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float(np.sum(param.grad * param.grad))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(
+    parameters: Sequence[Tensor], max_norm: float, where: str = "gradient"
+) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  A non-finite norm (some gradient already
+    holds NaN/Inf) raises :class:`NumericalError` instead of silently
+    writing the poison into the optimizer state.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = grad_norm(parameters)
+    if not math.isfinite(norm):
+        raise NumericalError(where, f"gradient norm is {norm!r}")
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in parameters:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm

@@ -26,6 +26,19 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # state snapshot / restore (loss-spike recovery rolls back through
+    # these so a restored run continues with consistent moment estimates)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Deep-copied parameter values plus optimizer slot state."""
+        return {"params": [param.data.copy() for param in self.parameters]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        for param, data in zip(self.parameters, state["params"]):
+            param.data[...] = data
+
 
 class SGD(Optimizer):
     """Plain stochastic gradient descent with optional momentum."""
@@ -45,6 +58,16 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity -= self.lr * param.grad
             param.data += velocity
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        for slot, data in zip(self._velocity, state["velocity"]):
+            slot[...] = data
 
 
 class Adam(Optimizer):
@@ -84,3 +107,18 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        state["step_count"] = self._step_count
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        for slot, data in zip(self._m, state["m"]):
+            slot[...] = data
+        for slot, data in zip(self._v, state["v"]):
+            slot[...] = data
+        self._step_count = state["step_count"]

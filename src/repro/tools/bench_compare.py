@@ -55,21 +55,34 @@ class MetricPolicy:
 
     ``pattern`` is an ``fnmatch`` glob over the dotted metric path
     (``training.batched.graphs_per_sec``).  ``direction`` names the
-    good direction; ``threshold`` is the tolerated relative move in
-    the bad direction before the gate fails.
+    good direction; ``threshold`` is the tolerated move in the bad
+    direction before the gate fails — relative to the baseline in the
+    default ``mode="relative"``, or an absolute delta with
+    ``mode="absolute"`` (right for metrics bounded in [0, 1], where a
+    relative threshold collapses near zero).
     """
 
     pattern: str
     direction: str  # "higher" | "lower"
     threshold: float
+    mode: str = "relative"  # "relative" | "absolute"
 
     def matches(self, path: str) -> bool:
         return fnmatch.fnmatch(path, self.pattern)
+
+    def bad_move(self, baseline: float, current: float) -> float:
+        delta = current - baseline
+        if self.mode == "relative":
+            delta = delta / baseline if baseline else 0.0
+        return -delta if self.direction == "higher" else delta
 
 
 DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     MetricPolicy("*graphs_per_sec", "higher", 0.30),
     MetricPolicy("*speedup", "higher", 0.30),
+    # Stability metrics are bounded in [0, 1]: gate on absolute drops.
+    MetricPolicy("*.jaccard", "higher", 0.15, mode="absolute"),
+    MetricPolicy("*.spearman", "higher", 0.20, mode="absolute"),
 )
 
 
@@ -123,8 +136,11 @@ def compare_benchmarks(
         if policy is None:
             deltas.append(MetricDelta(file, path, base_value, cur_value, "info", rel))
             continue
-        bad_move = -rel if policy.direction == "higher" else rel
-        status = "regressed" if bad_move > policy.threshold else "ok"
+        status = (
+            "regressed"
+            if policy.bad_move(base_value, cur_value) > policy.threshold
+            else "ok"
+        )
         deltas.append(
             MetricDelta(file, path, base_value, cur_value, status, rel,
                         policy.threshold)

@@ -214,6 +214,43 @@ def _run_resume_smoke() -> bool:
     return bool(ok)
 
 
+def _run_fuzz_smoke(iterations: int = 500, seed: int = 0) -> bool:
+    """A seeded fuzz campaign must finish with zero unhandled crashes.
+
+    Drives ``iterations`` mutated listings through parser → CFG →
+    features → sanitizer → GNN forward (every k-th survivor through all
+    four explainers); any crash, sanitizer miss, or non-finite output
+    fails the gate and prints its minimized repro.
+    """
+    from repro.harden.fuzz import FuzzConfig, run_fuzz
+
+    hostile_dir = _repo_root() / "tests" / "data" / "hostile"
+    report = run_fuzz(
+        FuzzConfig(
+            iterations=iterations,
+            seed=seed,
+            hostile_dir=hostile_dir if hostile_dir.is_dir() else None,
+        )
+    )
+    status = "ok" if report.ok else "FAILED"
+    print(
+        f"[check] fuzz smoke: {report.iterations} mutations, "
+        f"{report.parsed} parsed, {report.quarantined} quarantined, "
+        f"{report.forwards} forwards, {report.explained} explained, "
+        f"{len(report.crashes)} crash(es) ({status})"
+    )
+    for crash in report.crashes:
+        print(
+            f"[check]   crash iter={crash.iteration} stage={crash.stage} "
+            f"{crash.error_type}: {crash.message}"
+        )
+        if crash.text:
+            print("[check]   minimized repro:")
+            for line in crash.text.splitlines():
+                print(f"[check]     {line}")
+    return report.ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="One-shot repository health check."
@@ -228,6 +265,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also run the crash-resume smoke gate (interrupt + resume a "
         "tiny checkpointed pipeline)",
+    )
+    parser.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="also run the hostile-input fuzz gate (500 seeded mutations "
+        "through parser→CFG→GNN→explainers, zero crashes required)",
+    )
+    parser.add_argument(
+        "--fuzz-iterations",
+        type=int,
+        default=500,
+        help="mutation count for the --fuzz gate",
     )
     args = parser.parse_args(argv)
     root = _repo_root()
@@ -244,6 +293,8 @@ def main(argv: list[str] | None = None) -> int:
         results["profile smoke"] = _run_profile_smoke()
     if args.resume:
         results["resume smoke"] = _run_resume_smoke()
+    if args.fuzz:
+        results["fuzz smoke"] = _run_fuzz_smoke(iterations=args.fuzz_iterations)
 
     print("\n[check] summary")
     failed = False

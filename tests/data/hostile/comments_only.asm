@@ -1,0 +1,4 @@
+; a file with no instructions at all
+; just commentary
+; the parser yields an empty program and the CFG is empty
+

@@ -1,0 +1,5 @@
+; jumps to a label that is never defined
+start:
+    cmp eax, 0
+    je nowhere_to_be_found
+    ret

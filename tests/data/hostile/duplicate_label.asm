@@ -1,0 +1,6 @@
+; the same label defined twice — ambiguous jump target
+loop:
+    inc eax
+loop:
+    dec eax
+    jmp loop

@@ -1,0 +1,4 @@
+; a bare colon is a label with no name
+    mov eax, 1
+:
+    ret

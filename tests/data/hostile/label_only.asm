@@ -1,0 +1,4 @@
+; labels with no code — trailing label gets the synthetic ret anchor
+alpha:
+beta:
+gamma:

@@ -1,0 +1,4 @@
+; parses fine but the CFG is a single self-looping block
+spin:
+    nop
+    jmp spin

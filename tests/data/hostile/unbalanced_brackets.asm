@@ -1,0 +1,4 @@
+; memory operand bracket never closed
+start:
+    mov eax, [ebx + 4
+    ret

@@ -1,0 +1,5 @@
+; mnemonic outside the ISA — Instruction validation must raise
+start:
+    mov eax, 1
+    frobnicate eax, ebx
+    ret

@@ -1,0 +1,4 @@
+; string literal never closed — operand splitter must reject, not hang
+start:
+    mov eax, 'hello
+    ret

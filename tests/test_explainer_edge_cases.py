@@ -84,6 +84,51 @@ class TestZeroRealNodes:
                 explainer.explain(graph)
 
 
+def disconnected_graph(n=8, n_real=5):
+    """Three weak components: chain 0→1, chain 2→3, isolated node 4."""
+    adjacency = np.zeros((n, n))
+    adjacency[0, 1] = 1.0
+    adjacency[2, 3] = 2.0
+    features = np.zeros((n, 12))
+    features[:n_real] = np.linspace(0.1, 1.0, n_real)[:, None]
+    return ACFG(adjacency, features, label=0, family="Bagle", n_real=n_real)
+
+
+class TestDisconnectedGraphs:
+    """Multiple weak components must not crash or corrupt any explainer."""
+
+    def test_ranking_explainers_handle_disconnection(self, all_ranking_explainers):
+        graph = disconnected_graph()
+        for explainer in all_ranking_explainers:
+            explanation = explainer.explain(graph, step_size=50)
+            assert sorted(explanation.node_order.tolist()) == list(range(5)), (
+                explainer.name
+            )
+            scores = np.asarray(explanation.node_scores, dtype=float)
+            assert np.all(np.isfinite(scores)), explainer.name
+
+    def test_cfgexplainer_handles_disconnection(self, trained_gnn, trained_theta):
+        explanation = interpret(trained_theta, trained_gnn, disconnected_graph())
+        assert sorted(explanation.node_order.tolist()) == list(range(5))
+        assert np.all(np.isfinite(np.asarray(explanation.node_scores, dtype=float)))
+
+    def test_pgexplainer_handles_disconnection(self, trained_gnn, small_dataset):
+        train_set, _ = small_dataset
+        explainer = PGExplainerBaseline(trained_gnn, epochs=1)
+        explainer.fit(train_set)
+        explanation = explainer.explain(disconnected_graph())
+        assert sorted(explanation.node_order.tolist()) == list(range(5))
+
+    def test_sanitizer_flags_but_does_not_drop(self):
+        from repro.harden import GraphSanitizer
+
+        sanitizer = GraphSanitizer()
+        records = sanitizer.check_acfg(disconnected_graph())
+        reasons = {r.reason for r in records}
+        assert "disconnected" in reasons
+        assert not any(sanitizer.is_fatal(r) for r in records)
+
+
 class TestDatasetEdgeCases:
     def test_dataset_rejects_mixed_padding(self):
         g1 = edgeless_graph(n=6)

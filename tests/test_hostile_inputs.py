@@ -1,0 +1,119 @@
+"""Hostile assembly corpus: typed rejection or quarantine, never a crash."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.disasm import CFGBuildError, ParseError, build_cfg, parse_program
+from repro.disasm.instruction import Instruction
+from repro.harden import GraphSanitizer
+from repro.malgen.corpus import LabeledSample, block_motif_tags
+
+HOSTILE_DIR = Path(__file__).parent / "data" / "hostile"
+HOSTILE_FILES = sorted(HOSTILE_DIR.glob("*.asm"))
+
+#: Listings the parser itself must reject with a typed ParseError.
+PARSE_REJECTED = {
+    "dangling_jump",
+    "duplicate_label",
+    "empty_label",
+    "unbalanced_brackets",
+    "unknown_mnemonic",
+    "unterminated_string",
+}
+
+#: Listings that parse but whose graphs the sanitizer must quarantine.
+SANITIZER_QUARANTINED = {
+    "comments_only": "empty_graph",
+    "giant_operand": "single_block",
+    "label_only": "single_block",
+    "self_jump": "single_block",
+}
+
+
+def _sample(program):
+    cfg = build_cfg(program)
+    return LabeledSample(
+        program=program,
+        cfg=cfg,
+        family="Bagle",
+        label=0,
+        motif_spans=[],
+        block_tags=block_motif_tags(cfg, []),
+    )
+
+
+def test_corpus_covers_both_rejection_layers():
+    names = {path.stem for path in HOSTILE_FILES}
+    assert names == PARSE_REJECTED | set(SANITIZER_QUARANTINED)
+
+
+@pytest.mark.parametrize(
+    "path", HOSTILE_FILES, ids=[p.stem for p in HOSTILE_FILES]
+)
+def test_every_hostile_listing_is_handled(path):
+    """The fuzzer invariant, enumerated: typed rejection or quarantine."""
+    text = path.read_text()
+    try:
+        program = parse_program(text, name=path.stem)
+    except ParseError:
+        assert path.stem in PARSE_REJECTED
+        return
+    assert path.stem in SANITIZER_QUARANTINED
+    sanitizer = GraphSanitizer()
+    records = sanitizer.check_sample(_sample(program))
+    fatal = [r.reason for r in records if sanitizer.is_fatal(r)]
+    assert SANITIZER_QUARANTINED[path.stem] in fatal
+
+
+class TestParseErrorMetadata:
+    def test_line_number_and_reason(self):
+        text = (HOSTILE_DIR / "duplicate_label.asm").read_text()
+        with pytest.raises(ParseError) as excinfo:
+            parse_program(text)
+        assert excinfo.value.line_number == 4
+        assert "duplicate label" in excinfo.value.reason
+
+    def test_dangling_target_names_the_label(self):
+        text = (HOSTILE_DIR / "dangling_jump.asm").read_text()
+        with pytest.raises(ParseError, match="nowhere_to_be_found"):
+            parse_program(text)
+
+
+class TestResourceLimits:
+    def test_max_instructions(self):
+        text = "\n".join("nop" for _ in range(20))
+        parse_program(text, max_instructions=20)
+        with pytest.raises(ParseError, match="more than 19"):
+            parse_program(text, max_instructions=19)
+
+    def test_max_line_length(self):
+        text = (HOSTILE_DIR / "giant_operand.asm").read_text()
+        parse_program(text)  # unlimited by default
+        with pytest.raises(ParseError, match="longer than 120"):
+            parse_program(text, max_line_length=120)
+
+
+class TestDanglingTargets:
+    TEXT = "start:\n    cmp eax, 0\n    je nowhere\n    ret"
+
+    def test_require_targets_defaults_on(self):
+        with pytest.raises(ParseError, match="never defined"):
+            parse_program(self.TEXT)
+
+    def test_opt_out_defers_to_cfg_builder(self):
+        program = parse_program(self.TEXT, require_targets=False)
+        with pytest.raises(CFGBuildError) as excinfo:
+            build_cfg(program)
+        assert excinfo.value.label == "nowhere"
+
+    def test_cfgbuilderror_is_a_value_error(self):
+        # Callers that predate the typed error still catch it.
+        assert issubclass(CFGBuildError, ValueError)
+
+    def test_external_targets_are_not_labels(self):
+        # Indirect/external call operands never resolve to a local label,
+        # so require_targets must not reject them.
+        program = parse_program("start:\n    call ds:Sleep\n    ret")
+        assert program.instructions[0].target is None
+        assert Instruction("call", ("eax",)).target is None

@@ -1,0 +1,267 @@
+"""Explanation-stability benchmark: perturbations, metrics, reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.acfg import ACFGDataset, FeatureScaler
+from repro.baselines import DegreeExplainer
+from repro.disasm import build_cfg, parse_program
+from repro.eval import stability as stab
+from repro.eval.stability import (
+    PERTURBATIONS,
+    StabilityConfig,
+    StabilityRow,
+    format_stability_table,
+    perturb_edge_dropout,
+    perturb_feature_noise,
+    perturb_semantic_nop,
+    run_stability,
+    stability_bench_payload,
+    write_stability_bench,
+)
+from repro.gnn import GCNClassifier
+from repro.malgen import generate_corpus
+from repro.malgen.corpus import LabeledSample, block_motif_tags
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(2, seed=0, families=("Bagle", "Bifrose"))
+
+
+@pytest.fixture(scope="module")
+def artifacts(corpus):
+    """Minimal stand-in for PipelineArtifacts: just what run_stability uses."""
+    dataset = ACFGDataset.from_corpus(corpus)
+    scaler = FeatureScaler().fit(list(dataset))
+    test_set = dataset.scaled(scaler)
+    model = GCNClassifier(hidden=(8,), rng=np.random.default_rng(0))
+    samples = {sample.program.name: sample for sample in corpus}
+
+    class _Artifacts:
+        def __init__(self):
+            self.test_set = test_set
+            self.scaler = scaler
+            self.explainers = {"Degree": DegreeExplainer(model)}
+
+        def sample_for(self, name):
+            return samples[name]
+
+    return _Artifacts()
+
+
+class TestConfig:
+    def test_unknown_perturbation_rejected(self):
+        with pytest.raises(ValueError, match="unknown perturbations"):
+            StabilityConfig(perturbations=("edge_dropout", "bitflip"))
+
+    def test_positive_counts_required(self):
+        with pytest.raises(ValueError):
+            StabilityConfig(trials=0)
+        with pytest.raises(ValueError):
+            StabilityConfig(graphs_per_family=0)
+
+    def test_top_fraction_bounds(self):
+        with pytest.raises(ValueError, match="top_fraction"):
+            StabilityConfig(top_fraction=0.0)
+        with pytest.raises(ValueError, match="top_fraction"):
+            StabilityConfig(top_fraction=1.5)
+
+
+class TestEdgeDropout:
+    def test_edges_only_removed_never_added(self, artifacts):
+        graph = artifacts.test_set[0]
+        rng = np.random.default_rng(0)
+        variant = perturb_edge_dropout(graph, rng, rate=0.5)
+        assert variant.n == graph.n and variant.n_real == graph.n_real
+        added = (variant.adjacency != 0) & (graph.adjacency == 0)
+        assert not added.any()
+        assert (variant.adjacency != 0).sum() <= (graph.adjacency != 0).sum()
+
+    def test_at_least_one_edge_survives(self, artifacts):
+        graph = artifacts.test_set[0]
+        variant = perturb_edge_dropout(graph, np.random.default_rng(0), rate=1.0)
+        assert (variant.adjacency != 0).sum() == 1
+
+    def test_input_graph_not_mutated(self, artifacts):
+        graph = artifacts.test_set[0]
+        before = graph.adjacency.copy()
+        perturb_edge_dropout(graph, np.random.default_rng(0), rate=1.0)
+        assert np.array_equal(graph.adjacency, before)
+
+
+class TestFeatureNoise:
+    def test_features_stay_nonnegative_and_padding_zero(self, artifacts):
+        graph = artifacts.test_set[0]
+        rng = np.random.default_rng(0)
+        variant = perturb_feature_noise(graph, rng, scale=5.0)
+        assert np.all(variant.features >= 0)
+        assert np.array_equal(
+            variant.features[graph.n_real :], graph.features[graph.n_real :]
+        )
+        assert np.array_equal(variant.adjacency, graph.adjacency)
+
+    def test_noise_actually_perturbs(self, artifacts):
+        graph = artifacts.test_set[0]
+        variant = perturb_feature_noise(graph, np.random.default_rng(0), scale=0.1)
+        assert not np.array_equal(
+            variant.features[: graph.n_real], graph.features[: graph.n_real]
+        )
+
+
+class TestSemanticNop:
+    def test_block_count_and_labels_preserved(self, corpus):
+        sample = corpus[0]
+        rng = np.random.default_rng(0)
+        perturbed = perturb_semantic_nop(sample, rng, insertions=3)
+        assert perturbed is not None
+        assert perturbed.cfg.node_count == sample.cfg.node_count
+        assert (
+            len(perturbed.program.instructions)
+            == len(sample.program.instructions) + 3
+        )
+        # Every label must still point at the same-indexed block start.
+        assert set(perturbed.program.labels) == set(sample.program.labels)
+
+    def test_no_insertion_point_returns_none(self):
+        program = parse_program("entry:\nret", name="tiny")
+        sample = LabeledSample(
+            program=program,
+            cfg=build_cfg(program),
+            family="Bagle",
+            label=0,
+            motif_spans=[],
+            block_tags=block_motif_tags(build_cfg(program), []),
+        )
+        assert perturb_semantic_nop(sample, np.random.default_rng(0), 1) is None
+
+    def test_deterministic_under_seed(self, corpus):
+        sample = corpus[0]
+        a = perturb_semantic_nop(sample, np.random.default_rng(7), insertions=2)
+        b = perturb_semantic_nop(sample, np.random.default_rng(7), insertions=2)
+        assert a.program.to_text() == b.program.to_text()
+
+
+class TestMetrics:
+    def test_spearman_perfect_and_inverted(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert stab._spearman(a, a * 10) == pytest.approx(1.0)
+        assert stab._spearman(a, -a) == pytest.approx(-1.0)
+
+    def test_spearman_with_ties(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0])
+        b = np.array([1.0, 1.0, 2.0, 3.0])
+        assert stab._spearman(a, b) == pytest.approx(1.0)
+
+    def test_spearman_degenerate_vectors(self):
+        constant = np.zeros(4)
+        varied = np.array([1.0, 2.0, 3.0, 4.0])
+        assert stab._spearman(constant, constant) == 1.0
+        assert stab._spearman(constant, varied) == 0.0
+
+    def test_spearman_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            stab._spearman(np.zeros(3), np.zeros(4))
+
+    def test_jaccard_top_k(self):
+        a = np.array([0, 1, 2, 3])
+        b = np.array([3, 2, 1, 0])
+        assert stab._jaccard_top_k(a, a, k=2) == 1.0
+        assert stab._jaccard_top_k(a, b, k=2) == 0.0
+        assert stab._jaccard_top_k(a, np.array([1, 3, 0, 2]), k=2) == pytest.approx(
+            1 / 3
+        )
+
+    def test_average_ranks_ties(self):
+        ranks = stab._average_ranks(np.array([10.0, 10.0, 5.0]))
+        assert ranks.tolist() == [1.5, 1.5, 0.0]
+
+
+class TestRunStability:
+    def test_rows_cover_every_cell_and_are_deterministic(self, artifacts):
+        config = StabilityConfig(trials=2, seed=0)
+        rows = run_stability(artifacts, config)
+        again = run_stability(artifacts, config)
+        assert rows == again
+        families = {g.family for g in artifacts.test_set}
+        cells = {(r.explainer, r.family, r.perturbation) for r in rows}
+        assert cells == {
+            ("Degree", fam, p) for fam in families for p in PERTURBATIONS
+        }
+        for row in rows:
+            assert row.trials + row.skipped == 2
+
+    def test_degree_explainer_invariants(self, artifacts):
+        """Degree only sees adjacency: feature noise cannot move it, and
+        semantic NOPs never change CFG edges."""
+        rows = run_stability(artifacts, StabilityConfig(trials=2, seed=0))
+        for row in rows:
+            if row.perturbation in ("feature_noise", "semantic_nop") and row.trials:
+                assert row.jaccard == pytest.approx(1.0), row
+                assert row.spearman == pytest.approx(1.0), row
+
+    def test_bench_payload_and_writer(self, artifacts, tmp_path):
+        rows = run_stability(artifacts, StabilityConfig(trials=2, seed=0))
+        payload = stability_bench_payload(rows)
+        assert set(payload) == {"Degree"}
+        assert set(payload["Degree"]) == set(PERTURBATIONS)
+        for cell in payload["Degree"].values():
+            assert set(cell) == {"jaccard", "spearman", "trials"}
+        path = write_stability_bench(rows, tmp_path / "BENCH_stability.json")
+        assert json.loads(path.read_text()) == payload
+
+    def test_format_table(self, artifacts):
+        rows = run_stability(artifacts, StabilityConfig(trials=1, seed=0))
+        table = format_stability_table(rows)
+        assert "Jaccard@k" in table and "Degree" in table
+
+
+class TestBenchGatePolicies:
+    def test_stability_metrics_gated_absolutely(self):
+        from repro.tools.bench_compare import DEFAULT_POLICIES
+
+        modes = {
+            p.pattern: p.mode for p in DEFAULT_POLICIES
+            if p.pattern in ("*.jaccard", "*.spearman")
+        }
+        assert modes == {"*.jaccard": "absolute", "*.spearman": "absolute"}
+
+    def test_absolute_drop_triggers_regression(self):
+        from repro.tools.bench_compare import compare_benchmarks
+
+        baseline = {"Degree": {"edge_dropout": {"jaccard": 0.9, "trials": 4}}}
+        dropped = {"Degree": {"edge_dropout": {"jaccard": 0.6, "trials": 4}}}
+        verdicts = {
+            d.path: d.status for d in compare_benchmarks(baseline, dropped)
+        }
+        # 0.9 → 0.6 is a 0.3 absolute drop, past the 0.15 gate; trial
+        # counts are informational, never gated.
+        assert verdicts["Degree.edge_dropout.jaccard"] == "regressed"
+        assert verdicts["Degree.edge_dropout.trials"] == "info"
+        ok = {"Degree": {"edge_dropout": {"jaccard": 0.85, "trials": 4}}}
+        verdicts = {d.path: d.status for d in compare_benchmarks(baseline, ok)}
+        assert verdicts["Degree.edge_dropout.jaccard"] == "ok"
+
+    def test_relative_gate_unaffected_by_absolute_mode(self):
+        from repro.tools.bench_compare import compare_benchmarks
+
+        baseline = {"training": {"graphs_per_sec": 100.0}}
+        slower = {"training": {"graphs_per_sec": 50.0}}
+        verdicts = {
+            d.path: d.status for d in compare_benchmarks(baseline, slower)
+        }
+        assert verdicts["training.graphs_per_sec"] == "regressed"
+
+
+class TestStabilityRowAggregation:
+    def test_empty_cell_reports_nan(self):
+        row = StabilityRow(
+            explainer="X", family="F", perturbation="semantic_nop",
+            jaccard=float("nan"), spearman=float("nan"), trials=0, skipped=2,
+        )
+        table = format_stability_table([row])
+        assert "nan" in table
+        payload = stability_bench_payload([row])
+        assert np.isnan(payload["X"]["semantic_nop"]["jaccard"])
