@@ -1,0 +1,185 @@
+"""Paper-scale reduction lane: end-to-end cost with and without ``repro.reduce``.
+
+Builds a small corpus of ~7000-node graphs (the scale where the dense
+O(N²) pipeline genuinely hurts), then runs the identical train+explain
+workload twice — once on the raw ACFGs and once through the
+static-analysis reduction pipeline (chain collapse, unreachable
+pruning, dead-store bypass, leaf filter) — and writes
+``BENCH_reduction.json`` (to the repo root or ``$REPRO_BENCH_DIR``;
+``repro.tools.bench_compare`` gates the numbers against
+``benchmarks/baselines/``).
+
+The reduced lane is charged honestly: its dataset time *includes* the
+reduction passes, and its explanation time includes lifting the
+explanation back onto original block indices.  Gated metrics:
+
+- ``*.speedup`` / ``*compression`` — scale-free ratios (30 % relative);
+- ``fidelity.jaccard`` — overlap between the unreduced explanation's
+  top-20 % blocks and the lifted reduced explanation's top-20 % blocks,
+  both in original index space (15 % absolute drop);
+- ``accuracy.accuracy_drop`` — train-set accuracy cost of reducing
+  (25 % absolute).
+
+Like the batching bench this module builds its own corpus and trains
+its own models; the workload (2 epochs, 1 explained graph, 1 explainer
+epoch) is sized for a single-CPU runner — roughly a minute reduced vs
+several minutes unreduced — while keeping the ~7000-node graph scale.
+"""
+
+import json
+import time
+
+import numpy as np
+from conftest import bench_artifact_path
+
+from repro.acfg import ACFGDataset, FeatureScaler
+from repro.baselines.gnnexplainer import GNNExplainerBaseline
+from repro.gnn import GCNClassifier, evaluate_accuracy, train_gnn
+from repro.malgen import generate_corpus
+from repro.reduce import ReduceConfig
+
+ARTIFACT_NAME = "BENCH_reduction.json"
+
+FAMILIES = ("Rbot", "Benign")
+SAMPLES_PER_FAMILY = 2
+SIZE_MULTIPLIER = 47  # largest graph ~7400 nodes
+SEED = 7
+TRAIN_EPOCHS = 2
+BATCH_SIZE = 4
+EXPLAINER_EPOCHS = 1
+STEP_SIZE = 10
+TOP_FRACTION = 0.2
+
+REDUCE_CONFIG = ReduceConfig(
+    prune_dead_stores=True,
+    filter_leaves=True,
+    leaf_max_in_degree=8,
+    max_rounds=8,
+)
+
+
+def _build_dataset(corpus, reduce=None):
+    start = time.perf_counter()
+    dataset = ACFGDataset.from_corpus(corpus, families=FAMILIES, reduce=reduce)
+    stats = dataset.reduction  # scaled() returns a fresh dataset: grab now
+    dataset = dataset.scaled(FeatureScaler().fit(list(dataset.graphs)))
+    return dataset, stats, time.perf_counter() - start
+
+
+def _train(dataset) -> tuple[GCNClassifier, float]:
+    model = GCNClassifier(hidden=(32, 24, 16), rng=np.random.default_rng(0))
+    start = time.perf_counter()
+    train_gnn(model, dataset, epochs=TRAIN_EPOCHS, batch_size=BATCH_SIZE, seed=0)
+    return model, time.perf_counter() - start
+
+
+def _jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    left, right = set(a.tolist()), set(b.tolist())
+    return len(left & right) / len(left | right)
+
+
+def test_bench_reduction_lane():
+    corpus = generate_corpus(
+        SAMPLES_PER_FAMILY,
+        seed=SEED,
+        families=FAMILIES,
+        size_multiplier=SIZE_MULTIPLIER,
+    )
+
+    dataset_u, _, dataset_u_s = _build_dataset(corpus)
+    dataset_r, stats, dataset_r_s = _build_dataset(corpus, reduce=REDUCE_CONFIG)
+    assert stats is not None and stats.nodes_after < stats.nodes_before
+
+    model_u, train_u_s = _train(dataset_u)
+    model_r, train_r_s = _train(dataset_r)
+
+    # Explain the largest graph in both lanes; the reduced lane's
+    # explanation is lifted back onto original block indices.
+    big_u = max(dataset_u.graphs, key=lambda g: g.n_real)
+    big_r = next(g for g in dataset_r.graphs if g.name == big_u.name)
+    lift = dataset_r.lift_map_for(big_u.name)
+    assert lift is not None and not lift.is_identity
+
+    explainer_u = GNNExplainerBaseline(model_u, epochs=EXPLAINER_EPOCHS, seed=0)
+    start = time.perf_counter()
+    explanation_u = explainer_u.explain(big_u, step_size=STEP_SIZE)
+    explain_u_s = time.perf_counter() - start
+
+    explainer_r = GNNExplainerBaseline(model_r, epochs=EXPLAINER_EPOCHS, seed=0)
+    start = time.perf_counter()
+    explanation_r = explainer_r.explain_lifted(
+        big_r, big_u, lift, step_size=STEP_SIZE
+    )
+    explain_r_s = time.perf_counter() - start
+
+    # Lifted explanation ranks original blocks: directly comparable.
+    assert explanation_r.graph.n_real == big_u.n_real
+    jaccard = _jaccard(
+        explanation_u.top_nodes(TOP_FRACTION), explanation_r.top_nodes(TOP_FRACTION)
+    )
+
+    accuracy_u = evaluate_accuracy(model_u, dataset_u)
+    accuracy_r = evaluate_accuracy(model_r, dataset_r)
+
+    total_u = dataset_u_s + train_u_s + explain_u_s
+    total_r = dataset_r_s + train_r_s + explain_r_s
+    report = {
+        "corpus": {
+            "families": list(FAMILIES),
+            "samples_per_family": SAMPLES_PER_FAMILY,
+            "size_multiplier": SIZE_MULTIPLIER,
+            "largest_graph_nodes": int(big_u.n_real),
+            "train_epochs": TRAIN_EPOCHS,
+            "explainer_epochs": EXPLAINER_EPOCHS,
+        },
+        "reduction": {
+            "nodes_before": stats.nodes_before,
+            "nodes_after": stats.nodes_after,
+            "node_compression": round(stats.node_compression, 3),
+            "edge_compression": round(stats.edge_compression, 3),
+            "chains_collapsed": stats.chains_collapsed,
+            "blocks_merged": stats.blocks_merged,
+        },
+        "dataset": {
+            "unreduced_seconds": round(dataset_u_s, 2),
+            "reduced_seconds": round(dataset_r_s, 2),
+        },
+        "training": {
+            "unreduced_seconds": round(train_u_s, 2),
+            "reduced_seconds": round(train_r_s, 2),
+            "speedup": round(train_u_s / train_r_s, 2),
+        },
+        "explanation": {
+            "unreduced_seconds": round(explain_u_s, 2),
+            "reduced_seconds": round(explain_r_s, 2),
+            "speedup": round(explain_u_s / explain_r_s, 2),
+        },
+        "end_to_end": {
+            "unreduced_seconds": round(total_u, 2),
+            "reduced_seconds": round(total_r, 2),
+            "speedup": round(total_u / total_r, 2),
+        },
+        "fidelity": {
+            "top_fraction": TOP_FRACTION,
+            "jaccard": round(jaccard, 4),
+        },
+        "accuracy": {
+            "unreduced": round(accuracy_u, 4),
+            "reduced": round(accuracy_r, 4),
+            "accuracy_drop": round(max(0.0, accuracy_u - accuracy_r), 4),
+        },
+    }
+    bench_artifact_path(ARTIFACT_NAME).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"\nreduction  {stats.nodes_before} -> {stats.nodes_after} nodes"
+        f"  ({report['reduction']['node_compression']}x)"
+    )
+    print(
+        f"end-to-end unreduced {total_u:7.1f}s  reduced {total_r:7.1f}s"
+        f"  ({report['end_to_end']['speedup']}x)"
+        f"  jaccard@{TOP_FRACTION} {jaccard:.3f}"
+    )
+
+    # Acceptance criterion: reduction pays for itself >= 1.5x end to end.
+    assert report["end_to_end"]["speedup"] >= 1.5, report["end_to_end"]

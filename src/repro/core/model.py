@@ -36,7 +36,7 @@ class NodeScorer(Module):
         graph_context: bool = False,
         rng: np.random.Generator | None = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         in_features = embedding_size * (2 if graph_context else 1)
         widths = (in_features, *hidden)
         self.layers = [
@@ -94,7 +94,7 @@ class SurrogateClassifier(Module):
     ):
         if pooling not in {"lse", "max", "sum", "mean"}:
             raise ValueError(f"unknown pooling {pooling!r}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         widths = (embedding_size, *hidden)
         self.layers = [
             Dense(w_in, w_out, activation="relu", rng=rng)
@@ -151,7 +151,7 @@ class CFGExplainerModel(Module):
         classifier_hidden: tuple[int, ...] = (64, 32, 16),
         rng: np.random.Generator | None = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         self.scorer = NodeScorer(embedding_size, scorer_hidden, rng=rng)
         self.surrogate = SurrogateClassifier(
             embedding_size, num_classes, classifier_hidden, rng=rng

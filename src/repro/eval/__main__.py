@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.eval [--quick] [--samples N] [--seed S]
                          [--workers W] [--run-dir DIR] [--task-timeout T]
+                         [--reduce]
     python -m repro.eval verify [--samples N] [--seed S] [--mode strict|warn]
     python -m repro.eval profile [--samples N] [--seed S] [--out DIR]
                                  [--workers W]
@@ -59,6 +60,12 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument(
         "--task-timeout", type=float, default=None,
         help="per-shard wall-clock timeout in seconds (workers only)",
+    )
+    parser.add_argument(
+        "--reduce", action="store_true",
+        help="run the static CFG reduction passes (chain collapse, "
+             "unreachable pruning) before training; explanations are "
+             "lifted back to original blocks via the recorded lift maps",
     )
 
     subparsers = parser.add_subparsers(dest="command")
@@ -222,6 +229,9 @@ def run_robustness(args: argparse.Namespace) -> int:
 
 def run_evaluation(args: argparse.Namespace) -> int:
     """The default command: every paper artifact plus static agreement."""
+    from repro.reduce import ReduceConfig
+
+    reduce_config = ReduceConfig() if args.reduce else None
     if args.quick:
         config = ExperimentConfig(
             samples_per_family=args.samples or 6,
@@ -231,6 +241,7 @@ def run_evaluation(args: argparse.Namespace) -> int:
             seed=args.seed,
             num_workers=args.workers,
             task_timeout_seconds=args.task_timeout,
+            reduce=reduce_config,
         )
     else:
         config = ExperimentConfig(
@@ -238,6 +249,7 @@ def run_evaluation(args: argparse.Namespace) -> int:
             seed=args.seed,
             num_workers=args.workers,
             task_timeout_seconds=args.task_timeout,
+            reduce=reduce_config,
         )
 
     start = time.time()
@@ -273,18 +285,31 @@ def run_evaluation(args: argparse.Namespace) -> int:
     print(format_table4(timings))
 
     print("\n## Table V — qualitative patterns (top-20% subgraphs)\n")
+    from repro.acfg.graph import from_sample
+
     explainer = artifacts.explainers["CFGExplainer"]
     pairs = []
     for family in artifacts.test_set.families:
         for graph in artifacts.test_set.of_family(family)[:3]:
-            pairs.append(
-                (artifacts.sample_for(graph.name), explainer.explain(graph))
-            )
+            sample = artifacts.sample_for(graph.name)
+            lift = artifacts.lift_map_for(graph.name)
+            if lift is not None and not lift.is_identity:
+                explanation = explainer.explain_lifted(
+                    graph, from_sample(sample), lift
+                )
+            else:
+                explanation = explainer.explain(graph)
+            pairs.append((sample, explanation))
     print(format_table_v(build_family_reports(pairs)))
 
     print("\n## Static agreement — top-20% blocks vs static analysis\n")
     print(format_agreement(
-        agreement_rows(sweeps, artifacts.samples_by_name, fraction=0.2)
+        agreement_rows(
+            sweeps,
+            artifacts.samples_by_name,
+            fraction=0.2,
+            lift_maps=artifacts.lift_maps,
+        )
     ))
 
     if failures:

@@ -51,12 +51,19 @@ class AgreementRow:
 
 
 def static_agreement(
-    pairs: list[tuple[LabeledSample, Explanation]], fraction: float = 0.2
+    pairs: list[tuple[LabeledSample, Explanation]],
+    fraction: float = 0.2,
+    lift_maps: dict | None = None,
 ) -> tuple[int, float, float]:
     """Mean coverage over (sample, explanation) pairs with a static signal.
 
     Returns ``(graphs_scored, coverage, random_baseline)``; graphs whose
     CFG triggers no detector are skipped (no signal to agree with).
+
+    The static signal indexes *original* blocks, so when the dataset
+    was reduced (``lift_maps`` holds a :class:`repro.reduce.LiftMap`
+    per graph name) the explainer's top supernodes are lifted back to
+    original block indices before intersecting.
     """
     scored = 0
     coverage_sum = 0.0
@@ -65,10 +72,16 @@ def static_agreement(
         flagged = suspicious_blocks(sample)
         if not flagged:
             continue
-        top = set(explanation.top_nodes(fraction).tolist())
+        lift = (lift_maps or {}).get(explanation.graph.name)
+        if lift is not None:
+            top = set(lift.lift_top_nodes(explanation, fraction).tolist())
+            total = lift.original_n
+        else:
+            top = set(explanation.top_nodes(fraction).tolist())
+            total = explanation.graph.n_real
         scored += 1
         coverage_sum += len(flagged & top) / len(flagged)
-        baseline_sum += len(top) / explanation.graph.n_real
+        baseline_sum += len(top) / total
     if scored == 0:
         return 0, 0.0, 0.0
     return scored, coverage_sum / scored, baseline_sum / scored
@@ -78,6 +91,7 @@ def agreement_rows(
     sweeps: dict[str, dict[str, FamilySweep]],
     samples_by_name: dict[str, LabeledSample],
     fraction: float = 0.2,
+    lift_maps: dict | None = None,
 ) -> list[AgreementRow]:
     """Aggregate Figure 2 sweeps into one agreement row per explainer.
 
@@ -85,7 +99,8 @@ def agreement_rows(
     adds no explainer work to the evaluation run.
     """
     pairs_by_explainer: dict[str, list[tuple[LabeledSample, Explanation]]] = {}
-    for by_explainer in sweeps.values():
+    for family in sorted(sweeps):
+        by_explainer = sweeps[family]
         for name, sweep in by_explainer.items():
             pairs = pairs_by_explainer.setdefault(name, [])
             for explanation in sweep.explanations:
@@ -94,7 +109,7 @@ def agreement_rows(
                 )
     rows = []
     for name, pairs in pairs_by_explainer.items():
-        scored, coverage, baseline = static_agreement(pairs, fraction)
+        scored, coverage, baseline = static_agreement(pairs, fraction, lift_maps)
         rows.append(
             AgreementRow(
                 explainer_name=name,

@@ -39,6 +39,7 @@ from repro.malgen import generate_corpus
 from repro.malgen.corpus import LabeledSample
 from repro.nn.serialize import load_module_into, save_module
 from repro.obs import add_counter, span as obs_span
+from repro.reduce import LiftMap, ReduceConfig
 
 __all__ = [
     "EXECUTION_ONLY_FIELDS",
@@ -121,6 +122,13 @@ class ExperimentConfig:
     #: samples cannot crash the verifier.
     on_bad_input: str | None = None
 
+    #: Static-analysis graph reduction (repro.reduce): a ReduceConfig
+    #: shrinks every graph after quarantine + verification and before
+    #: padding, recording per-graph lift maps on the artifacts; None
+    #: (default) trains on the full graphs.  This is an identity-
+    #: affecting field — checkpoints pin it.
+    reduce: ReduceConfig | None = None
+
     # execution (repro.exec scheduler)
     #: Worker processes for the per-family sweeps and timing loops.
     #: 1 keeps the exact serial reference path (no subprocesses).
@@ -140,6 +148,14 @@ class ExperimentConfig:
         object.__setattr__(
             self, "gnn_hidden", tuple(int(width) for width in self.gnn_hidden)
         )
+        # JSON round-trips also flatten the nested ReduceConfig to a
+        # plain dict; coerce it back so equality and validation hold.
+        if isinstance(self.reduce, dict):
+            object.__setattr__(self, "reduce", ReduceConfig(**self.reduce))
+        if self.reduce is not None and not isinstance(self.reduce, ReduceConfig):
+            raise ValueError(
+                f"reduce must be a ReduceConfig or None, got {self.reduce!r}"
+            )
         if self.samples_per_family <= 1:
             raise ValueError("need at least 2 samples per family to split")
         if self.batch_mode not in TRAINING_MODES:
@@ -201,9 +217,19 @@ class PipelineArtifacts:
     #: Ingestion quarantine report (repro.harden), present when the
     #: config's ``on_bad_input`` policy was active.
     quarantine: "QuarantineReport | None" = None
+    #: ``graph name -> LiftMap`` when the config enabled reduction
+    #: (repro.reduce); experiments use it to lift reduced explanations
+    #: back onto original blocks.  None for unreduced runs.
+    lift_maps: dict[str, LiftMap] | None = None
 
     def sample_for(self, graph_name: str) -> LabeledSample:
         return self.samples_by_name[graph_name]
+
+    def lift_map_for(self, graph_name: str) -> LiftMap | None:
+        """The lift map of one graph, or None for unreduced runs."""
+        if self.lift_maps is None:
+            return None
+        return self.lift_maps.get(graph_name)
 
 
 #: Stage names persisted by a checkpointed :func:`run_pipeline`, in
@@ -255,7 +281,10 @@ def build_untrained_artifacts(config: ExperimentConfig) -> PipelineArtifacts:
         size_multiplier=config.size_multiplier,
     )
     dataset = ACFGDataset.from_corpus(
-        corpus, verify=None, on_bad_input=config.on_bad_input
+        corpus,
+        verify=None,
+        on_bad_input=config.on_bad_input,
+        reduce=config.reduce,
     )
     train_raw, test_raw = train_test_split(
         dataset, config.test_fraction, seed=config.seed
@@ -301,6 +330,7 @@ def build_untrained_artifacts(config: ExperimentConfig) -> PipelineArtifacts:
         samples_by_name={s.program.name: s for s in corpus},
         embedding_cache=embedding_cache,
         quarantine=dataset.quarantine,
+        lift_maps=dataset.lift_maps,
     )
 
 
@@ -395,6 +425,7 @@ def run_pipeline(
             corpus,
             verify=None if dataset_restored else config.verify_mode,
             on_bad_input=config.on_bad_input,
+            reduce=config.reduce,
         )
         train_raw, test_raw = train_test_split(
             dataset, config.test_fraction, seed=rng_seed
@@ -573,4 +604,5 @@ def run_pipeline(
         samples_by_name={s.program.name: s for s in corpus},
         embedding_cache=embedding_cache,
         quarantine=dataset.quarantine,
+        lift_maps=dataset.lift_maps,
     )

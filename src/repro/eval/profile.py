@@ -80,9 +80,9 @@ def profile_pipeline(
             artifacts = run_pipeline(config, verbose=verbose)
             with span("profile.explain"):
                 test_graphs = artifacts.test_set.graphs[:graphs_per_explainer]
-                for explainer in artifacts.explainers.values():
+                for name in sorted(artifacts.explainers):
                     for graph in test_graphs:
-                        explainer.explain(graph, config.step_size)
+                        artifacts.explainers[name].explain(graph, config.step_size)
             if config.num_workers > 1:
                 from repro.exec import run_sweeps
 

@@ -65,6 +65,25 @@ class Explainer(abc.ABC):
     def explain(self, graph: ACFG, step_size: int = 10) -> Explanation:
         """Explain the model's prediction on ``graph``."""
 
+    def explain_lifted(
+        self,
+        graph: ACFG,
+        original: ACFG,
+        lift_map,
+        step_size: int = 10,
+    ) -> Explanation:
+        """Explain a *reduced* graph, then project onto the original.
+
+        ``graph`` is what the model was trained on (reduced, padded);
+        ``original`` is the unreduced ACFG and ``lift_map`` the
+        :class:`repro.reduce.LiftMap` recorded when it was reduced.
+        The returned explanation ranks original block indices and its
+        ladder slices original structure, so every downstream metric is
+        directly comparable with an unreduced run.
+        """
+        reduced = self.explain(graph, step_size=step_size)
+        return lift_map.lift_explanation(reduced, original, step_size=step_size)
+
     def _empty_graph_explanation(self, graph: ACFG) -> Explanation | None:
         if graph.n_real == 0:
             raise ValueError("cannot explain a graph with no real nodes")

@@ -36,15 +36,26 @@ class SignatureRecovery:
 
 
 def signature_recovery(
-    sample: LabeledSample, explanation: Explanation, fraction: float = 0.2
+    sample: LabeledSample,
+    explanation: Explanation,
+    fraction: float = 0.2,
+    lift_map=None,
 ) -> SignatureRecovery:
     """How well the top-``fraction`` nodes cover the planted signature blocks.
 
     Precision: share of kept nodes that are signature blocks.
     Recall: share of signature blocks that are kept.
+
+    ``lift_map`` (a :class:`repro.reduce.LiftMap`) handles explanations
+    computed on a *reduced* graph: the kept set is the top fraction of
+    **original** blocks after lifting, so the metric stays comparable
+    with unreduced runs — signature blocks are original indices.
     """
     signature = set(sample.signature_blocks)
-    kept = set(explanation.top_nodes(fraction).tolist())
+    if lift_map is not None:
+        kept = set(lift_map.lift_top_nodes(explanation, fraction).tolist())
+    else:
+        kept = set(explanation.top_nodes(fraction).tolist())
     if not kept:
         raise ValueError("explanation kept no nodes")
     hits = len(signature & kept)
@@ -59,19 +70,26 @@ def signature_recovery(
 
 
 def mean_signature_recovery(
-    pairs: list[tuple[LabeledSample, Explanation]], fraction: float = 0.2
+    pairs: list[tuple[LabeledSample, Explanation]],
+    fraction: float = 0.2,
+    lift_maps: dict | None = None,
 ) -> SignatureRecovery:
     """Average precision/recall over (sample, explanation) pairs.
 
     Samples without signature blocks (possible for Benign) are skipped
-    for recall but still count toward precision.
+    for recall but still count toward precision.  ``lift_maps`` (graph
+    name → :class:`repro.reduce.LiftMap`) lifts explanations computed
+    on reduced graphs back to original block indices first.
     """
     if not pairs:
         raise ValueError("need at least one pair")
     precisions, recalls = [], []
     kept_total = signature_total = 0
     for sample, explanation in pairs:
-        result = signature_recovery(sample, explanation, fraction)
+        lift_map = (
+            lift_maps.get(sample.program.name) if lift_maps is not None else None
+        )
+        result = signature_recovery(sample, explanation, fraction, lift_map=lift_map)
         precisions.append(result.precision)
         if not np.isnan(result.recall):
             recalls.append(result.recall)

@@ -46,7 +46,7 @@ class DGCNNClassifier(Module):
             raise ValueError("need at least one convolution layer")
         if sort_k <= 0:
             raise ValueError("sort_k must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         widths = (in_features, *conv_channels)
         self.convs = [
             GCNConv(w_in, w_out, activation="tanh", rng=rng)

@@ -61,7 +61,7 @@ class GCNClassifier(Module):
             raise ValueError("need at least one GCN layer")
         if pooling not in {"max", "sum", "mean"}:
             raise ValueError(f"unknown pooling {pooling!r}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         widths = (in_features, *hidden)
         self.convs = [
             GCNConv(w_in, w_out, activation="relu", rng=rng)

@@ -2,13 +2,18 @@
 
 Seeded mutation of assembly listings and ACFG payloads, driven through
 the full stack: parser → CFG recovery → feature extraction → sanitizer
-→ GNN forward → all four explainers.  The invariant under test is
-*typed rejection or success, never a crash and never a NaN*:
+→ reduction → GNN forward → all four explainers.  The invariant under
+test is *typed rejection or success, never a crash and never a NaN*:
 
 * hostile text must be rejected with :class:`~repro.disasm.ParseError`
   / :class:`~repro.disasm.CFGBuildError` (or survive parsing cleanly);
 * corrupted graph payloads must be caught by the
   :class:`~repro.harden.sanitize.GraphSanitizer` as fatal findings;
+* every sanitizer-clean graph must flow through the static reduction
+  passes (:func:`repro.reduce.reduce_sample` with every pass enabled)
+  either raising a typed error (``ValueError`` /
+  :class:`~repro.nn.NumericalError`) or producing finite merged
+  features and a valid lift map;
 * everything that survives sanitation must flow through the GNN and
   every explainer without raising and without producing non-finite
   scores.
@@ -48,11 +53,23 @@ from repro.harden.sanitize import GraphSanitizer, HostileInputError
 from repro.malgen.corpus import LabeledSample, block_motif_tags, generate_corpus
 from repro.malgen.families import FAMILIES
 from repro.nn import NumericalError, no_grad
+from repro.reduce import ReduceConfig, reduce_acfg
 
 __all__ = ["CrashRepro", "FuzzConfig", "FuzzReport", "run_fuzz", "main"]
 
 #: Typed, *expected* rejections — anything else that escapes is a crash.
 HANDLED_ERRORS = (ParseError, CFGBuildError, HostileInputError, NumericalError)
+
+#: Typed rejections the reduction passes are allowed to raise.
+REDUCE_HANDLED_ERRORS = (ValueError, NumericalError)
+
+#: Every reduction pass enabled so the fuzzer exercises them all.
+_FUZZ_REDUCE_CONFIG = ReduceConfig(
+    prune_dead_stores=True,
+    filter_leaves=True,
+    leaf_max_in_degree=8,
+    max_rounds=8,
+)
 
 #: Hostile line fragments the text mutator splices in.
 _HOSTILE_LINES = (
@@ -102,7 +119,7 @@ class CrashRepro:
 
     seed: int
     iteration: int
-    stage: str  # parse | cfg | acfg | sanitize | forward | explain
+    stage: str  # parse | cfg | acfg | sanitize | reduce | forward | explain
     error_type: str
     message: str
     text: str  # minimized assembly listing ("" for payload-only crashes)
@@ -128,6 +145,7 @@ class FuzzReport:
     parsed: int = 0
     rejected: dict[str, int] = field(default_factory=dict)
     quarantined: int = 0
+    reduced: int = 0
     forwards: int = 0
     explained: int = 0
     crashes: list[CrashRepro] = field(default_factory=list)
@@ -146,6 +164,7 @@ class FuzzReport:
             "parsed": self.parsed,
             "rejected": dict(sorted(self.rejected.items())),
             "quarantined": self.quarantined,
+            "reduced": self.reduced,
             "forwards": self.forwards,
             "explained": self.explained,
             "crashes": [c.to_dict() for c in self.crashes],
@@ -155,7 +174,8 @@ class FuzzReport:
     def summary(self) -> str:
         lines = [
             f"fuzz: {self.iterations} iteration(s) — {self.parsed} parsed, "
-            f"{self.quarantined} quarantined, {self.forwards} forward passes, "
+            f"{self.quarantined} quarantined, {self.reduced} reduced, "
+            f"{self.forwards} forward passes, "
             f"{self.explained} explained, {len(self.crashes)} crash(es)"
         ]
         for key, count in sorted(self.rejected.items()):
@@ -437,7 +457,26 @@ def _drive_one(
             report.quarantined += 1
             return None
 
-    # 5. GNN forward, 6. explainers (every k-th clean survivor)
+    # 5. static reduction — typed rejection or a valid, finite result
+    try:
+        result = reduce_acfg(graph, cfg=cfg, config=_FUZZ_REDUCE_CONFIG)
+    except REDUCE_HANDLED_ERRORS as error:
+        report.note_rejection("reduce", error)
+        return None
+    except Exception as error:  # noqa: BLE001
+        return crash("reduce", error)
+    if not np.all(np.isfinite(result.graph.features)):
+        return crash(
+            "reduce", AssertionError("non-finite features after merge")
+        )
+    order = np.sort(result.lift.lift_order(np.arange(result.graph.n_real)))
+    if not np.array_equal(order, np.arange(graph.n_real)):
+        return crash(
+            "reduce", AssertionError("lift order is not a permutation")
+        )
+    report.reduced += 1
+
+    # 6. GNN forward, 7. explainers (every k-th clean survivor)
     try:
         harness.forward(graph)
     except Exception as error:  # noqa: BLE001

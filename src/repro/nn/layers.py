@@ -44,6 +44,9 @@ class Module:
 
     def parameters(self) -> list[Tensor]:
         params: list[Tensor] = []
+        # vars() preserves __init__ assignment order, which is fixed per
+        # class; sorting would silently renumber existing state_dicts.
+        # lint: ok
         for value in vars(self).values():
             params.extend(_collect(value))
         return params
@@ -94,7 +97,7 @@ class Dense(Module):
         activation: str = "linear",
         rng: np.random.Generator | None = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         if activation == "relu":
             weight = he_normal(in_features, out_features, rng)
         else:
@@ -124,7 +127,7 @@ class GCNConv(Module):
         activation: str = "relu",
         rng: np.random.Generator | None = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng()  # lint: ok (seeded rng is the reproducible path)
         self.weight = Tensor(
             glorot_uniform(in_features, out_features, rng), requires_grad=True
         )

@@ -1,0 +1,40 @@
+"""Static-analysis CFG/ACFG reduction with explanation lift-back.
+
+The serving-scale lever the ROADMAP names: shrink graphs *before* the
+GNN and the explainer ladder see them, using the dominator/dataflow
+machinery from :mod:`repro.staticcheck`, and keep every downstream
+metric comparable by projecting importance back onto original blocks
+through a :class:`LiftMap`.
+
+Typical use::
+
+    from repro.reduce import ReduceConfig, reduce_sample
+
+    result = reduce_sample(sample, ReduceConfig())
+    small = result.graph            # fewer nodes, merged features
+    lifted = result.lift.lift_explanation(explanation, original_graph)
+
+Or corpus-wide, opt-in, through ``ACFGDataset.from_corpus(...,
+reduce=ReduceConfig())`` / ``ExperimentConfig(reduce=...)``.
+"""
+
+from repro.reduce.lift import PRUNED, LiftMap
+from repro.reduce.passes import (
+    ReduceConfig,
+    ReductionResult,
+    ReductionStats,
+    merge_stats,
+    reduce_acfg,
+    reduce_sample,
+)
+
+__all__ = [
+    "LiftMap",
+    "PRUNED",
+    "ReduceConfig",
+    "ReductionResult",
+    "ReductionStats",
+    "merge_stats",
+    "reduce_acfg",
+    "reduce_sample",
+]

@@ -1,0 +1,231 @@
+"""LiftMap: project supernode importance back onto original blocks.
+
+Reduction rewrites a graph, but every downstream consumer of an
+explanation — Table III/V metrics, the stability benchmark, the
+ground-truth motif evaluation — speaks in *original* block indices.
+The :class:`LiftMap` records, for every original real block, which
+supernode absorbed it (or :data:`PRUNED`), and provides the inverse
+projection:
+
+* **scores** lift by *mass splitting*: a supernode's importance is
+  divided equally among its members, so total importance mass is
+  conserved (``lift_scores(s).sum() == s.sum()``) and a merged chain
+  never outweighs an unmerged block just by being larger.
+* **orderings** lift by expansion: each supernode in the reduced
+  ranking expands to its members (ascending original index), and
+  pruned blocks are appended last (ascending) — they carry zero
+  importance by construction.  The result is always a permutation of
+  the original real-node indices, exactly what
+  :class:`~repro.explain.explanation.Explanation` requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acfg.graph import ACFG
+from repro.explain.base import ladder_from_order
+from repro.explain.explanation import Explanation
+
+__all__ = ["LiftMap", "PRUNED"]
+
+#: Sentinel in ``super_of`` for original blocks no supernode absorbed
+#: (unreachable blocks, bypassed dead-store regions, filtered leaves).
+PRUNED: int = -1
+
+
+@dataclass(frozen=True, eq=False)
+class LiftMap:
+    """Original block → supernode mapping for one reduced graph.
+
+    ``super_of[i]`` is the supernode index of original real block ``i``
+    or :data:`PRUNED`; ``members[s]`` lists the original blocks merged
+    into supernode ``s``, in ascending order.  Every surviving original
+    block belongs to exactly one supernode (validated on construction).
+    """
+
+    original_n: int
+    super_of: np.ndarray
+    members: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "super_of", np.asarray(self.super_of, dtype=int)
+        )
+        if self.super_of.shape != (self.original_n,):
+            raise ValueError(
+                f"super_of has shape {self.super_of.shape}, expected "
+                f"({self.original_n},)"
+            )
+        seen: set[int] = set()
+        for s, block_indices in enumerate(self.members):
+            if not block_indices:
+                raise ValueError(f"supernode {s} has no members")
+            for index in block_indices:
+                if not 0 <= index < self.original_n:
+                    raise ValueError(
+                        f"supernode {s} member {index} outside "
+                        f"[0, {self.original_n})"
+                    )
+                if index in seen:
+                    raise ValueError(
+                        f"original block {index} belongs to multiple supernodes"
+                    )
+                if self.super_of[index] != s:
+                    raise ValueError(
+                        f"super_of[{index}] = {self.super_of[index]} but "
+                        f"block is a member of supernode {s}"
+                    )
+                seen.add(index)
+        for index in range(self.original_n):
+            if index not in seen and self.super_of[index] != PRUNED:
+                raise ValueError(
+                    f"original block {index} maps to supernode "
+                    f"{self.super_of[index]} but is a member of none"
+                )
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def num_supernodes(self) -> int:
+        return len(self.members)
+
+    @property
+    def pruned_blocks(self) -> np.ndarray:
+        """Original block indices absorbed by no supernode, ascending."""
+        return np.where(self.super_of == PRUNED)[0]
+
+    @property
+    def is_identity(self) -> bool:
+        """True when reduction was a no-op (every block its own supernode)."""
+        return self.num_supernodes == self.original_n and all(
+            member == (s,) for s, member in enumerate(self.members)
+        )
+
+    # ------------------------------------------------------------------
+    # projections
+    # ------------------------------------------------------------------
+    def lift_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Mass-conserving projection of per-supernode scores.
+
+        Each original member receives ``score / |members|``; pruned
+        blocks receive 0.  ``lift_scores(s).sum() == s.sum()`` exactly
+        (up to float addition order).
+        """
+        scores = np.asarray(scores, dtype=float)
+        if scores.shape != (self.num_supernodes,):
+            raise ValueError(
+                f"scores have shape {scores.shape}, expected "
+                f"({self.num_supernodes},)"
+            )
+        lifted = np.zeros(self.original_n, dtype=float)
+        for s, block_indices in enumerate(self.members):
+            lifted[list(block_indices)] = scores[s] / len(block_indices)
+        return lifted
+
+    def lift_order(self, node_order: np.ndarray) -> np.ndarray:
+        """Expand a supernode ranking into an original-block ranking.
+
+        ``node_order`` is a permutation of the supernode indices
+        (most important first).  Members expand in ascending original
+        order; pruned blocks trail, ascending.  The result is a
+        permutation of ``range(original_n)``.
+        """
+        node_order = np.asarray(node_order, dtype=int)
+        if sorted(node_order.tolist()) != list(range(self.num_supernodes)):
+            raise ValueError(
+                "node_order must be a permutation of the supernode indices"
+            )
+        expanded: list[int] = []
+        for s in node_order.tolist():
+            expanded.extend(self.members[s])
+        expanded.extend(self.pruned_blocks.tolist())
+        return np.asarray(expanded, dtype=int)
+
+    def lift_explanation(
+        self,
+        explanation: Explanation,
+        original: ACFG,
+        step_size: int | None = None,
+    ) -> Explanation:
+        """An :class:`Explanation` over the original graph.
+
+        The reduced explanation's ordering and scores are projected
+        back; the subgraph ladder is rebuilt over the original
+        adjacency at the same step size (inferred from the reduced
+        ladder when not given), so Table III's
+        ``model.predict_subgraph`` calls see original structure.
+        """
+        if original.n_real != self.original_n:
+            raise ValueError(
+                f"original graph has {original.n_real} real nodes, lift map "
+                f"covers {self.original_n}"
+            )
+        if step_size is None:
+            step_size = (
+                int(round(100 * explanation.levels[0].fraction))
+                if explanation.levels
+                else 10
+            )
+        order = self.lift_order(explanation.node_order)
+        scores = (
+            self.lift_scores(np.asarray(explanation.node_scores, dtype=float))
+            if explanation.node_scores is not None
+            else None
+        )
+        return Explanation(
+            graph=original,
+            explainer_name=explanation.explainer_name,
+            predicted_class=explanation.predicted_class,
+            node_order=order,
+            levels=ladder_from_order(original, order, step_size),
+            node_scores=scores,
+        )
+
+    def lift_top_nodes(
+        self, explanation: Explanation, fraction: float
+    ) -> np.ndarray:
+        """Top-``fraction`` *original* blocks of a reduced explanation.
+
+        ``fraction`` is measured against the original real-node count,
+        so a 20 % subgraph means the same thing pre- and post-reduction.
+        Cheaper than :meth:`lift_explanation` when only the kept set is
+        needed (the ground-truth motif metric).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        count = max(1, int(round(fraction * self.original_n)))
+        return self.lift_order(explanation.node_order)[:count]
+
+    # ------------------------------------------------------------------
+    # persistence / manifests
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "original_n": self.original_n,
+            "members": [list(m) for m in self.members],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LiftMap":
+        original_n = int(payload["original_n"])
+        members = tuple(
+            tuple(int(i) for i in member) for member in payload["members"]
+        )
+        super_of = np.full(original_n, PRUNED, dtype=int)
+        for s, member in enumerate(members):
+            for index in member:
+                super_of[index] = s
+        return cls(original_n=original_n, super_of=super_of, members=members)
+
+    @classmethod
+    def identity(cls, n: int) -> "LiftMap":
+        """The no-op map: every block is its own supernode."""
+        return cls(
+            original_n=n,
+            super_of=np.arange(n, dtype=int),
+            members=tuple((i,) for i in range(n)),
+        )

@@ -1,0 +1,608 @@
+"""Multi-pass static-analysis CFG/ACFG reduction.
+
+The paper's real graphs reach ~7000 nodes, and both GNN training and
+the explainer ladder scale super-linearly in node count — but a large
+fraction of those nodes are straight-line filler the classifier learns
+nothing from.  This module shrinks an :class:`~repro.acfg.graph.ACFG`
+*before* padding, using the analyses ``repro.staticcheck`` already
+computes for verification:
+
+1. **Unreachable prune** — blocks with no path from the entry
+   (``dataflow.unreachable_blocks`` semantics, recomputed on the
+   adjacency) are dropped.  Lossless for any entry-rooted analysis.
+2. **Dead-store bypass** (opt-in, needs the source
+   :class:`~repro.disasm.cfg.CFG`) — a non-branching block whose every
+   instruction is a dead store computes nothing; predecessors are
+   rewired straight to its unique successor and the block is dropped.
+3. **Leaf filter** (opt-in, lossy) — exit blocks with in-degree at most
+   ``leaf_max_in_degree`` are dropped.  Cheap compression, but it eats
+   ``ret`` blocks, so it is off by default and documented as unsafe for
+   ground-truth motif evaluation.
+4. **Chain collapse** — maximal single-entry/single-exit chains merge
+   into supernodes.  The chain criterion is *call-aware*: a call block
+   has out-degree 2 (call edge + fallthrough), so demanding literal
+   out-degree 1 finds nothing in realistic CFGs.  Instead ``u`` extends
+   the chain to ``v`` when ``v`` is ``u``'s only weight-1 successor and
+   ``u`` is ``v``'s only predecessor over *all* edges; members' call
+   edges are kept on the supernode.  Merging never crosses a retreating
+   edge, and blocks touching an irreducible edge (multi-entry loops,
+   where dominance reasoning breaks) are excluded entirely.
+
+Feature aggregation (the 12 Table I columns) is documented here and
+tested in ``tests/test_reduce.py``: all count columns **sum** across
+members; ``offspring`` (index 10) is **recomputed** as the supernode's
+distinct-successor count in the reduced graph, so the structural
+feature describes the graph the GNN actually sees.  Block tags union.
+
+Every reduction returns a :class:`~repro.reduce.lift.LiftMap` so
+importance scores project back onto original blocks — see
+:mod:`repro.reduce.lift`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acfg.features import NUM_FEATURES
+from repro.acfg.graph import ACFG, from_sample
+from repro.disasm.cfg import CFG
+from repro.malgen.corpus import LabeledSample
+from repro.nn.guards import NumericalError
+from repro.reduce.lift import PRUNED, LiftMap
+from repro.staticcheck.dataflow import dead_stores
+from repro.staticcheck.dominators import dominator_tree_from_successors
+
+__all__ = [
+    "ReduceConfig",
+    "ReductionResult",
+    "ReductionStats",
+    "merge_stats",
+    "reduce_acfg",
+    "reduce_sample",
+]
+
+#: Feature column recomputed (not summed) after merging: ``offspring``.
+OFFSPRING_COLUMN: int = 10
+
+ENTRY: int = 0
+
+
+@dataclass(frozen=True)
+class ReduceConfig:
+    """Knobs for the reduction pipeline.
+
+    The defaults are the lossless-for-explanations setting: prune what
+    the entry can never reach and collapse linear chains.  Dead-store
+    bypass needs instruction-level liveness (a source CFG) and the leaf
+    filter discards real exit blocks, so both are opt-in.
+    """
+
+    collapse_chains: bool = True
+    prune_unreachable: bool = True
+    prune_dead_stores: bool = False
+    filter_leaves: bool = False
+    leaf_max_in_degree: int = 1
+    max_chain_length: int = 0  # 0 = unbounded
+    max_rounds: int = 4
+
+    def __post_init__(self):
+        if self.leaf_max_in_degree < 0:
+            raise ValueError(
+                f"leaf_max_in_degree must be >= 0, got {self.leaf_max_in_degree}"
+            )
+        if self.max_chain_length < 0:
+            raise ValueError(
+                f"max_chain_length must be >= 0, got {self.max_chain_length}"
+            )
+        if self.max_chain_length == 1:
+            raise ValueError(
+                "max_chain_length=1 forbids every merge; use "
+                "collapse_chains=False instead"
+            )
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+    @property
+    def is_noop(self) -> bool:
+        return not (
+            self.collapse_chains
+            or self.prune_unreachable
+            or self.prune_dead_stores
+            or self.filter_leaves
+        )
+
+
+@dataclass(frozen=True)
+class ReductionStats:
+    """What one reduction did, for obs counters and bench reports."""
+
+    nodes_before: int
+    nodes_after: int
+    edges_before: int
+    edges_after: int
+    unreachable_pruned: int = 0
+    dead_store_bypassed: int = 0
+    leaves_pruned: int = 0
+    chains_collapsed: int = 0
+    blocks_merged: int = 0
+    irreducible_blocks: int = 0
+
+    @property
+    def node_compression(self) -> float:
+        """nodes_before / nodes_after (1.0 = no-op; higher = smaller)."""
+        return self.nodes_before / self.nodes_after if self.nodes_after else 1.0
+
+    @property
+    def edge_compression(self) -> float:
+        return self.edges_before / self.edges_after if self.edges_after else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "edges_before": self.edges_before,
+            "edges_after": self.edges_after,
+            "unreachable_pruned": self.unreachable_pruned,
+            "dead_store_bypassed": self.dead_store_bypassed,
+            "leaves_pruned": self.leaves_pruned,
+            "chains_collapsed": self.chains_collapsed,
+            "blocks_merged": self.blocks_merged,
+            "irreducible_blocks": self.irreducible_blocks,
+            "node_compression": self.node_compression,
+            "edge_compression": self.edge_compression,
+        }
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """A reduced graph plus the lift map back to the original."""
+
+    graph: ACFG
+    lift: LiftMap
+    stats: ReductionStats
+
+
+# ----------------------------------------------------------------------
+# internal mutable edge structure
+# ----------------------------------------------------------------------
+def _weighted_successors(
+    adjacency: np.ndarray, n: int
+) -> dict[int, dict[int, float]]:
+    """``succ[u][v] = weight`` over the real ``n x n`` submatrix."""
+    succ: dict[int, dict[int, float]] = {u: {} for u in range(n)}
+    rows, cols = np.nonzero(adjacency[:n, :n])
+    for u, v in zip(rows.tolist(), cols.tolist()):
+        succ[u][v] = float(adjacency[u, v])
+    return succ
+
+
+def _predecessor_map(succ: dict[int, dict[int, float]]) -> dict[int, set[int]]:
+    preds: dict[int, set[int]] = {u: set() for u in succ}
+    for u, targets in succ.items():
+        for v in targets:
+            preds[v].add(u)
+    return preds
+
+
+def _edge_count(succ: dict[int, dict[int, float]]) -> int:
+    return sum(len(targets) for targets in succ.values())
+
+
+def _reachable(succ: dict[int, dict[int, float]], entry: int) -> set[int]:
+    seen = {entry}
+    worklist = [entry]
+    while worklist:
+        node = worklist.pop()
+        for target in succ[node]:
+            if target not in seen:
+                seen.add(target)
+                worklist.append(target)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# passes
+# ----------------------------------------------------------------------
+def _prune_unreachable(succ: dict[int, dict[int, float]]) -> list[int]:
+    reachable = _reachable(succ, ENTRY)
+    doomed = sorted(set(succ) - reachable)
+    # No reachable node can point at a doomed one (the edge would make
+    # it reachable), so deleting the rows is enough.
+    for node in doomed:
+        del succ[node]
+    return doomed
+
+
+def _dead_store_only_blocks(cfg: CFG) -> set[int]:
+    """Blocks whose every instruction is a reported dead store."""
+    dead_offsets: dict[int, set[int]] = {}
+    for store in dead_stores(cfg):
+        dead_offsets.setdefault(store.block_index, set()).add(store.offset)
+    doomed: set[int] = set()
+    for block in cfg.blocks:
+        count = len(block.instructions)
+        if count and len(dead_offsets.get(block.index, ())) == count:
+            doomed.add(block.index)
+    return doomed
+
+
+def _bypass_dead_store_blocks(
+    succ: dict[int, dict[int, float]], cfg: CFG
+) -> list[int]:
+    """Rewire predecessors around dead-store-only pass-through blocks.
+
+    Only blocks with exactly one weight-1 successor and no call edges
+    are bypassed — a branching or calling block still has control-flow
+    effect even if its stores are dead.  The entry is never bypassed.
+    """
+    bypassed: list[int] = []
+    candidates = _dead_store_only_blocks(cfg)
+    preds = _predecessor_map(succ)
+    for node in sorted(candidates):
+        if node == ENTRY or node not in succ:
+            continue
+        targets = succ[node]
+        if len(targets) != 1:
+            continue
+        ((target, weight),) = targets.items()
+        if weight != 1.0 or target == node:
+            continue
+        for source in sorted(preds[node]):
+            if source not in succ or node not in succ[source]:
+                continue
+            source_weight = succ[source].pop(node)
+            # A call edge into the block stays a call edge to where
+            # the block fell through.
+            succ[source][target] = max(
+                succ[source].get(target, 0.0), source_weight
+            )
+            preds[target].add(source)
+        preds[target].discard(node)
+        del succ[node]
+        bypassed.append(node)
+    return bypassed
+
+
+def _filter_leaves(
+    succ: dict[int, dict[int, float]],
+    max_in_degree: int,
+    eligible: set[int],
+) -> list[int]:
+    """Drop exit nodes with few predecessors; ``eligible`` restricts the
+    pass to single-block supernodes so a collapsed chain is never
+    silently discarded wholesale."""
+    preds = _predecessor_map(succ)
+    doomed = sorted(
+        node
+        for node, targets in succ.items()
+        if node != ENTRY
+        and node in eligible
+        and not targets
+        and len(preds[node]) <= max_in_degree
+    )
+    for node in doomed:
+        for source in preds[node]:
+            if source in succ:
+                succ[source].pop(node, None)
+        del succ[node]
+    return doomed
+
+
+def _edge_structure(
+    succ: dict[int, dict[int, float]],
+) -> tuple[set[tuple[int, int]], set[int]]:
+    """``(retreating_edges, protected_blocks)`` of the current graph.
+
+    Retreating edges are those going no later in reverse post-order;
+    protected blocks are the endpoints of retreating edges whose target
+    does *not* dominate their source — an irreducible (multi-entry)
+    loop, where dominance-based chain reasoning is unsound and merging
+    is pinned entirely.
+    """
+    deterministic = {node: sorted(targets) for node, targets in succ.items()}
+    if ENTRY not in deterministic:
+        return set(), set()
+    tree = dominator_tree_from_successors(deterministic, ENTRY)
+    order: list[int] = []
+    stack: list[tuple[int, int]] = [(ENTRY, 0)]
+    seen = {ENTRY}
+    while stack:
+        node, child = stack[-1]
+        targets = deterministic[node]
+        if child < len(targets):
+            stack[-1] = (node, child + 1)
+            if targets[child] not in seen:
+                seen.add(targets[child])
+                stack.append((targets[child], 0))
+        else:
+            stack.pop()
+            order.append(node)
+    order.reverse()
+    position = {node: i for i, node in enumerate(order)}
+    retreating: set[tuple[int, int]] = set()
+    protected: set[int] = set()
+    for source, targets in deterministic.items():
+        if source not in position:
+            continue
+        for target in targets:
+            if target in position and position[target] <= position[source]:
+                retreating.add((source, target))
+                if not tree.dominates(target, source):
+                    protected.add(source)
+                    protected.add(target)
+    return retreating, protected
+
+
+def _collapse_chains(
+    succ: dict[int, dict[int, float]],
+    max_chain_length: int,
+    retreating: set[tuple[int, int]],
+    protected: set[int],
+    size_of: dict[int, int],
+) -> list[list[int]]:
+    """Greedy maximal chain discovery; returns member lists per chain.
+
+    ``u`` absorbs ``v`` when ``v`` is ``u``'s sole weight-1 successor,
+    ``u`` is ``v``'s sole predecessor over all edges, the merge edge is
+    not retreating, and neither endpoint touches an irreducible edge.
+    Chains grow from heads (blocks whose own predecessor link does not
+    qualify), so discovery order cannot split a chain in two.
+    """
+    preds = _predecessor_map(succ)
+
+    def chain_successor(u: int) -> int | None:
+        weight_one = [v for v, w in succ[u].items() if w == 1.0]
+        if len(weight_one) != 1:
+            return None
+        (v,) = weight_one
+        if v == ENTRY or v == u or v in protected or u in protected:
+            return None
+        if preds[v] != {u} or (u, v) in retreating:
+            return None
+        return v
+
+    chains: list[list[int]] = []
+    absorbed: set[int] = set()
+    for head in sorted(succ):
+        if head in absorbed:
+            continue
+        # Not a head if its own predecessor would absorb it.
+        unique_pred = next(iter(preds[head])) if len(preds[head]) == 1 else None
+        if (
+            unique_pred is not None
+            and unique_pred in succ
+            and chain_successor(unique_pred) == head
+        ):
+            continue
+        chain = [head]
+        chain_size = size_of[head]
+        while True:
+            nxt = chain_successor(chain[-1])
+            if nxt is None or nxt in absorbed or nxt in chain:
+                break
+            if max_chain_length and chain_size + size_of[nxt] > max_chain_length:
+                break
+            chain.append(nxt)
+            chain_size += size_of[nxt]
+            absorbed.add(nxt)
+        if len(chain) > 1:
+            chains.append(chain)
+
+    # Rewrite edges: merge every chain into its head.
+    for chain in chains:
+        head = chain[0]
+        chain_set = set(chain)
+        next_in_chain = {
+            member: chain[i + 1] for i, member in enumerate(chain[:-1])
+        }
+        merged: dict[int, float] = {}
+        for member in chain:
+            for target, weight in succ[member].items():
+                if target in chain_set:
+                    # The intra-chain weight-1 link vanishes; a call or
+                    # back edge into the chain becomes a self-loop.
+                    if weight == 1.0 and next_in_chain.get(member) == target:
+                        continue
+                    merged[head] = max(merged.get(head, 0.0), weight)
+                else:
+                    merged[target] = max(merged.get(target, 0.0), weight)
+        for member in chain[1:]:
+            del succ[member]
+        succ[head] = merged
+        # No incoming-edge rewrite is needed: every non-head member has
+        # exactly one predecessor (inside the chain), so external edges
+        # into the chain already target the surviving head.
+    return chains
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def reduce_acfg(
+    graph: ACFG,
+    cfg: CFG | None = None,
+    config: ReduceConfig | None = None,
+) -> ReductionResult:
+    """Run the configured passes over ``graph``'s real subgraph.
+
+    Returns an *unpadded* reduced :class:`ACFG` (``n == n_real``) — the
+    dataset layer decides the new padding budget from the whole-corpus
+    maximum.  Pass ordering is fixed: unreachable prune, dead-store
+    bypass, leaf filter, chain collapse; the lossy filters run before
+    collapse so only original single-block leaves are discarded, never
+    a large merged supernode.
+    """
+    if config is None:
+        config = ReduceConfig()
+    n = int(graph.n_real)
+    succ = _weighted_successors(graph.adjacency, n)
+    edges_before = _edge_count(succ)
+
+    if n == 0 or config.is_noop:
+        lift = LiftMap.identity(n)
+        stats = ReductionStats(
+            nodes_before=n,
+            nodes_after=n,
+            edges_before=edges_before,
+            edges_after=edges_before,
+        )
+        reduced = ACFG(
+            adjacency=graph.adjacency[:n, :n].copy(),
+            features=graph.features[:n].copy(),
+            label=graph.label,
+            family=graph.family,
+            name=graph.name,
+            n_real=n,
+            block_tags=tuple(graph.block_tags[:n]),
+        )
+        return ReductionResult(graph=reduced, lift=lift, stats=stats)
+
+    unreachable: list[int] = []
+    if config.prune_unreachable:
+        unreachable = _prune_unreachable(succ)
+
+    bypassed: list[int] = []
+    if config.prune_dead_stores and cfg is not None:
+        bypassed = _bypass_dead_store_blocks(succ, cfg)
+
+    # ------------------------------------------------------------------
+    # fixpoint: leaf pruning lowers out-degrees, which exposes new
+    # chains, whose collapse exposes new leaves — iterate (bounded by
+    # ``max_rounds``) until neither pass changes the graph.
+    # ------------------------------------------------------------------
+    members_of: dict[int, list[int]] = {node: [node] for node in succ}
+    leaves: list[int] = []
+    chains_collapsed = 0
+    irreducible_blocks = 0
+    for round_index in range(config.max_rounds):
+        changed = False
+        if config.filter_leaves:
+            singletons = {
+                node for node in succ if len(members_of[node]) == 1
+            }
+            doomed = _filter_leaves(
+                succ, config.leaf_max_in_degree, singletons
+            )
+            for node in doomed:
+                leaves.append(members_of.pop(node)[0])
+            changed = changed or bool(doomed)
+        if config.collapse_chains:
+            retreating, protected = _edge_structure(succ)
+            if round_index == 0:
+                irreducible_blocks = len(protected)
+            size_of = {node: len(members_of[node]) for node in succ}
+            chains = _collapse_chains(
+                succ,
+                config.max_chain_length,
+                retreating,
+                protected,
+                size_of,
+            )
+            for chain in chains:
+                merged_members = []
+                for node in chain:
+                    merged_members.extend(members_of[node])
+                for node in chain[1:]:
+                    del members_of[node]
+                members_of[chain[0]] = merged_members
+            chains_collapsed += len(chains)
+            changed = changed or bool(chains)
+        if not changed:
+            break
+
+    # ------------------------------------------------------------------
+    # materialise: survivors keep ascending original order, so the
+    # entry's supernode is index 0 in the reduced graph.
+    # ------------------------------------------------------------------
+    survivors = sorted(succ)
+    new_index = {node: i for i, node in enumerate(survivors)}
+
+    super_of = np.full(n, PRUNED, dtype=int)
+    members: list[tuple[int, ...]] = []
+    for node in survivors:
+        block_indices = tuple(sorted(members_of[node]))
+        members.append(block_indices)
+        for index in block_indices:
+            super_of[index] = new_index[node]
+    lift = LiftMap(original_n=n, super_of=super_of, members=tuple(members))
+
+    reduced_n = len(survivors)
+    adjacency = np.zeros((reduced_n, reduced_n), dtype=np.float64)
+    for node, targets in succ.items():
+        for target, weight in targets.items():
+            u, v = new_index[node], new_index[target]
+            adjacency[u, v] = max(adjacency[u, v], weight)
+
+    features = np.zeros((reduced_n, NUM_FEATURES), dtype=np.float64)
+    for i, block_indices in enumerate(members):
+        features[i] = graph.features[list(block_indices)].sum(axis=0)
+    features[:, OFFSPRING_COLUMN] = (adjacency > 0).sum(axis=1)
+    if not np.isfinite(features).all():
+        raise NumericalError(
+            f"non-finite features after merging {graph.name!r}"
+        )
+
+    block_tags: tuple[frozenset[str], ...] = ()
+    if graph.block_tags:
+        block_tags = tuple(
+            frozenset().union(
+                *(graph.block_tags[index] for index in block_indices)
+            )
+            for block_indices in members
+        )
+
+    reduced = ACFG(
+        adjacency=adjacency,
+        features=features,
+        label=graph.label,
+        family=graph.family,
+        name=graph.name,
+        n_real=reduced_n,
+        block_tags=block_tags,
+    )
+    stats = ReductionStats(
+        nodes_before=n,
+        nodes_after=reduced_n,
+        edges_before=edges_before,
+        edges_after=_edge_count(succ),
+        unreachable_pruned=len(unreachable),
+        dead_store_bypassed=len(bypassed),
+        leaves_pruned=len(leaves),
+        chains_collapsed=chains_collapsed,
+        blocks_merged=sum(
+            len(block_indices)
+            for block_indices in members
+            if len(block_indices) > 1
+        ),
+        irreducible_blocks=irreducible_blocks,
+    )
+    return ReductionResult(graph=reduced, lift=lift, stats=stats)
+
+
+def reduce_sample(
+    sample: LabeledSample, config: ReduceConfig | None = None
+) -> ReductionResult:
+    """Reduce one generated corpus sample (CFG available for dataflow)."""
+    return reduce_acfg(
+        from_sample(sample), cfg=sample.cfg, config=config
+    )
+
+
+def merge_stats(per_graph: list[ReductionStats]) -> ReductionStats:
+    """Corpus-level totals for obs counters and the bench report."""
+    if not per_graph:
+        return ReductionStats(0, 0, 0, 0)
+    return ReductionStats(
+        nodes_before=sum(s.nodes_before for s in per_graph),
+        nodes_after=sum(s.nodes_after for s in per_graph),
+        edges_before=sum(s.edges_before for s in per_graph),
+        edges_after=sum(s.edges_after for s in per_graph),
+        unreachable_pruned=sum(s.unreachable_pruned for s in per_graph),
+        dead_store_bypassed=sum(s.dead_store_bypassed for s in per_graph),
+        leaves_pruned=sum(s.leaves_pruned for s in per_graph),
+        chains_collapsed=sum(s.chains_collapsed for s in per_graph),
+        blocks_merged=sum(s.blocks_merged for s in per_graph),
+        irreducible_blocks=sum(s.irreducible_blocks for s in per_graph),
+    )

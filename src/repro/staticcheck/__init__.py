@@ -37,10 +37,18 @@ from repro.staticcheck.dataflow import (
     unreachable_blocks,
 )
 from repro.staticcheck.dominators import (
+    VIRTUAL_EXIT,
+    AnalysisError,
     DominatorTree,
+    EntryNotFoundError,
+    ExitlessGraphError,
     NaturalLoop,
     dominator_tree,
+    dominator_tree_from_successors,
+    irreducible_edges,
     natural_loops,
+    postdominator_tree,
+    retreating_edges,
 )
 from repro.staticcheck.verifier import (
     Finding,
@@ -52,12 +60,15 @@ from repro.staticcheck.verifier import (
 )
 
 __all__ = [
+    "AnalysisError",
     "CorpusVerification",
     "CorpusVerificationError",
     "DeadStore",
     "DefUse",
     "Definition",
     "DominatorTree",
+    "EntryNotFoundError",
+    "ExitlessGraphError",
     "Finding",
     "FindingKind",
     "Liveness",
@@ -65,13 +76,18 @@ __all__ = [
     "ReachingDefinitions",
     "SampleVerification",
     "Severity",
+    "VIRTUAL_EXIT",
     "canonical_register",
     "dead_stores",
     "def_use",
     "dominator_tree",
+    "dominator_tree_from_successors",
+    "irreducible_edges",
     "liveness",
     "natural_loops",
+    "postdominator_tree",
     "reaching_definitions",
+    "retreating_edges",
     "unreachable_blocks",
     "verify_acfg",
     "verify_cfg",

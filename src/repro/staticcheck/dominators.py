@@ -1,10 +1,32 @@
-"""Dominator trees and natural-loop detection over recovered CFGs.
+"""Dominator trees, postdominators and loop structure over recovered CFGs.
 
 Implements the Cooper–Harvey–Kennedy iterative dominator algorithm
 ("A Simple, Fast Dominance Algorithm"), which runs in near-linear time
 on the reducible graphs the corpus generators emit and degrades
 gracefully on irreducible ones.  Natural loops are derived from back
 edges ``u -> h`` where ``h`` dominates ``u``.
+
+Beyond the forward tree this module provides the pieces graph
+*transformation* (``repro.reduce``) needs and graph *verification* only
+tolerated:
+
+* :func:`dominator_tree_from_successors` — the same algorithm over a
+  plain successor map, so callers holding an adjacency structure (a
+  reduced ACFG, a fuzzer-mutated graph) don't have to fabricate a
+  :class:`~repro.disasm.cfg.CFG`.
+* :func:`postdominator_tree` — postdominators computed against a
+  *virtual exit* wired to every exit block.  Real malware CFGs are
+  multi-exit (several ``ret`` blocks, ``hlt`` paths); assuming a unique
+  exit silently misanalyses them, so multi-exit graphs are handled
+  structurally and a graph with *no* exit at all raises the typed
+  :class:`ExitlessGraphError` instead of returning garbage.
+* :func:`retreating_edges` / :func:`irreducible_edges` — DFS-order edge
+  classification.  A retreating edge whose target does not dominate its
+  source makes the loop *irreducible*: natural-loop analysis cannot see
+  it and chain collapse must not merge across it.
+
+All entry-point validation raises typed :class:`AnalysisError`
+subclasses (still ``ValueError`` for backward compatibility).
 """
 
 from __future__ import annotations
@@ -13,7 +35,54 @@ from dataclasses import dataclass
 
 from repro.disasm.cfg import CFG
 
-__all__ = ["DominatorTree", "NaturalLoop", "dominator_tree", "natural_loops"]
+__all__ = [
+    "AnalysisError",
+    "DominatorTree",
+    "EntryNotFoundError",
+    "ExitlessGraphError",
+    "NaturalLoop",
+    "VIRTUAL_EXIT",
+    "dominator_tree",
+    "dominator_tree_from_successors",
+    "irreducible_edges",
+    "natural_loops",
+    "postdominator_tree",
+    "retreating_edges",
+]
+
+#: Synthetic node index used as the entry of the reversed graph when
+#: computing postdominators over a multi-exit CFG.
+VIRTUAL_EXIT: int = -1
+
+
+class AnalysisError(ValueError):
+    """A static analysis cannot run on this graph (typed, never silent)."""
+
+
+class EntryNotFoundError(AnalysisError):
+    """The requested entry block does not exist in the graph."""
+
+    def __init__(self, entry: int, node_count: int):
+        super().__init__(
+            f"entry block {entry} not in the {node_count}-node graph"
+        )
+        self.entry = entry
+        self.node_count = node_count
+
+
+class ExitlessGraphError(AnalysisError):
+    """The graph has no exit block (every block has successors).
+
+    Postdominator analysis is undefined without an exit; returning a
+    partial tree would silently misanalyse e.g. an infinite dispatch
+    loop, so this is a typed error the caller must handle.
+    """
+
+    def __init__(self, name: str = "graph"):
+        super().__init__(
+            f"{name} has no exit block (every block has a successor); "
+            "postdominators are undefined"
+        )
 
 
 @dataclass(frozen=True)
@@ -21,7 +90,9 @@ class DominatorTree:
     """Immediate dominators for every block reachable from ``entry``.
 
     ``idom[entry] == entry``; unreachable blocks are absent from
-    ``idom`` entirely.
+    ``idom`` entirely.  The same structure describes a *post*dominator
+    tree, where ``entry`` is :data:`VIRTUAL_EXIT` and edges are
+    reversed.
     """
 
     entry: int
@@ -95,14 +166,18 @@ def _reverse_postorder(successors: dict[int, list[int]], entry: int) -> list[int
     return order
 
 
-def dominator_tree(cfg: CFG, entry: int = 0) -> DominatorTree:
-    """Compute immediate dominators for every block reachable from ``entry``."""
-    if not cfg.blocks:
-        return DominatorTree(entry=entry, idom={})
-    if not any(block.index == entry for block in cfg.blocks):
-        raise ValueError(f"entry block {entry} not in CFG")
+def dominator_tree_from_successors(
+    successors: dict[int, list[int]], entry: int
+) -> DominatorTree:
+    """Cooper–Harvey–Kennedy dominators over a plain successor map.
 
-    successors = _successor_map(cfg)
+    ``successors`` maps every node to its (deduplicated, deterministic)
+    successor list; nodes without out-edges must still be present as
+    keys.  Used directly by :mod:`repro.reduce`, which analyses reduced
+    adjacency structures that have no :class:`~repro.disasm.cfg.CFG`.
+    """
+    if entry not in successors:
+        raise EntryNotFoundError(entry, len(successors))
     order = _reverse_postorder(successors, entry)
     position = {node: i for i, node in enumerate(order)}
     predecessors: dict[int, list[int]] = {node: [] for node in order}
@@ -137,6 +212,95 @@ def dominator_tree(cfg: CFG, entry: int = 0) -> DominatorTree:
                 idom[node] = new_idom
                 changed = True
     return DominatorTree(entry=entry, idom=idom)
+
+
+def dominator_tree(cfg: CFG, entry: int = 0) -> DominatorTree:
+    """Compute immediate dominators for every block reachable from ``entry``."""
+    if not cfg.blocks:
+        return DominatorTree(entry=entry, idom={})
+    if not any(block.index == entry for block in cfg.blocks):
+        raise EntryNotFoundError(entry, len(cfg.blocks))
+    return dominator_tree_from_successors(_successor_map(cfg), entry)
+
+
+def postdominator_tree(cfg: CFG) -> DominatorTree:
+    """Postdominators of a (possibly multi-exit) CFG.
+
+    Every block without successors is an exit.  A virtual exit node
+    (:data:`VIRTUAL_EXIT`) is wired after all of them and the dominator
+    algorithm runs on the reversed graph from there — the standard
+    multi-exit construction, so a function with three ``ret`` blocks is
+    analysed correctly rather than pretending one of them is "the"
+    exit.  ``idom`` maps real blocks only; blocks whose immediate
+    postdominator is the virtual exit map to :data:`VIRTUAL_EXIT`.
+
+    Raises :class:`ExitlessGraphError` when no block is an exit (the
+    reversed graph would be rootless and any result a silent lie).
+    """
+    if not cfg.blocks:
+        return DominatorTree(entry=VIRTUAL_EXIT, idom={})
+    successors = _successor_map(cfg)
+    exits = sorted(node for node, targets in successors.items() if not targets)
+    if not exits:
+        raise ExitlessGraphError(cfg.name)
+    reversed_successors: dict[int, list[int]] = {
+        b.index: [] for b in cfg.blocks
+    }
+    reversed_successors[VIRTUAL_EXIT] = exits
+    for source, targets in successors.items():
+        for target in targets:
+            reversed_successors[target].append(source)
+    for node in reversed_successors:
+        reversed_successors[node] = sorted(set(reversed_successors[node]))
+    tree = dominator_tree_from_successors(reversed_successors, VIRTUAL_EXIT)
+    idom = {node: parent for node, parent in tree.idom.items() if node != VIRTUAL_EXIT}
+    return DominatorTree(entry=VIRTUAL_EXIT, idom=idom)
+
+
+def retreating_edges(
+    cfg: CFG, entry: int = 0
+) -> list[tuple[int, int]]:
+    """Edges ``u -> v`` where ``v`` appears no later than ``u`` in RPO.
+
+    In a reducible graph these are exactly the back edges; an
+    irreducible graph has retreating edges that are *not* back edges.
+    Only edges between entry-reachable blocks are classified.
+    """
+    if not cfg.blocks:
+        return []
+    successors = _successor_map(cfg)
+    if entry not in successors:
+        raise EntryNotFoundError(entry, len(cfg.blocks))
+    order = _reverse_postorder(successors, entry)
+    position = {node: i for i, node in enumerate(order)}
+    found: set[tuple[int, int]] = set()
+    for source, targets in successors.items():
+        if source not in position:
+            continue
+        for target in targets:
+            if target in position and position[target] <= position[source]:
+                found.add((source, target))
+    return sorted(found)
+
+
+def irreducible_edges(
+    cfg: CFG, tree: DominatorTree | None = None, entry: int = 0
+) -> list[tuple[int, int]]:
+    """Retreating edges whose target does not dominate their source.
+
+    Each one closes a loop with multiple entry points — a structure
+    :func:`natural_loops` cannot represent and chain collapse must not
+    merge across.  Empty for every reducible CFG.
+    """
+    if not cfg.blocks:
+        return []
+    if tree is None:
+        tree = dominator_tree(cfg, entry)
+    return [
+        (source, target)
+        for source, target in retreating_edges(cfg, entry)
+        if not tree.dominates(target, source)
+    ]
 
 
 def natural_loops(cfg: CFG, tree: DominatorTree | None = None) -> list[NaturalLoop]:

@@ -25,6 +25,7 @@ from repro.disasm.cfg import CFG, EdgeKind, find_leaders
 from repro.disasm.program import Program
 from repro.malgen.corpus import LabeledSample
 from repro.staticcheck.dataflow import dead_stores, unreachable_blocks
+from repro.staticcheck.dominators import irreducible_edges
 
 __all__ = [
     "Finding",
@@ -61,6 +62,7 @@ class FindingKind(enum.Enum):
     PADDING_NONZERO = "padding_nonzero"
     UNREACHABLE_BLOCK = "unreachable_block"
     DEAD_STORE = "dead_store"
+    IRREDUCIBLE_LOOP = "irreducible_loop"
 
 
 #: Default severity per kind: structural invariants are errors; the
@@ -69,6 +71,7 @@ class FindingKind(enum.Enum):
 _SEVERITIES: dict[FindingKind, Severity] = {
     FindingKind.UNREACHABLE_BLOCK: Severity.WARNING,
     FindingKind.DEAD_STORE: Severity.INFO,
+    FindingKind.IRREDUCIBLE_LOOP: Severity.WARNING,
 }
 
 
@@ -264,6 +267,18 @@ def _check_dataflow(cfg: CFG) -> list[Finding]:
         findings.append(
             _finding(FindingKind.DEAD_STORE, str(store), store.block_index)
         )
+    if any(block.index == 0 for block in cfg.blocks):
+        for source, target in irreducible_edges(cfg):
+            findings.append(
+                _finding(
+                    FindingKind.IRREDUCIBLE_LOOP,
+                    f"retreating edge {source} -> {target} closes a "
+                    "multiple-entry loop (target does not dominate source); "
+                    "natural-loop analysis cannot see this loop and chain "
+                    "collapse must not merge across it",
+                    source,
+                )
+            )
     return findings
 
 

@@ -83,6 +83,10 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     # Stability metrics are bounded in [0, 1]: gate on absolute drops.
     MetricPolicy("*.jaccard", "higher", 0.15, mode="absolute"),
     MetricPolicy("*.spearman", "higher", 0.20, mode="absolute"),
+    # Reduction lane: compression ratios are scale-free like speedups;
+    # the accuracy cost of reducing is bounded absolutely.
+    MetricPolicy("*compression", "higher", 0.30),
+    MetricPolicy("*accuracy_drop", "lower", 0.25, mode="absolute"),
 )
 
 

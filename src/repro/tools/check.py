@@ -25,6 +25,15 @@ in order and the exit code is non-zero if any of them fails:
    run directory — the resumed run must restore (not retrain) every
    completed stage, leaving the persisted GNN checkpoint bytes
    untouched.
+7. With ``--lint``, the AST determinism lint (:mod:`repro.tools.lint`)
+   over ``src/`` — unsorted set/dict-values iteration in
+   ordering-sensitive contexts, unseeded randomness, and wall-clock
+   seeds all fail the gate.
+8. With ``--reduce``, a static-reduction smoke test: a tiny corpus is
+   reduced with every pass enabled and the core invariants are checked
+   directly — nodes never increase, merged features stay finite,
+   importance mass is conserved through the lift map, and the default
+   config is idempotent.
 """
 
 from __future__ import annotations
@@ -214,6 +223,65 @@ def _run_resume_smoke() -> bool:
     return bool(ok)
 
 
+def _run_determinism_lint(root: Path) -> bool:
+    """The AST determinism lint must be clean over ``src/``."""
+    from repro.tools.lint import lint_paths
+
+    findings = lint_paths([root / "src"])
+    for finding in findings:
+        print(f"[check]   {finding}")
+    status = "ok" if not findings else "FAILED"
+    print(f"[check] determinism lint: {len(findings)} finding(s) ({status})")
+    return not findings
+
+
+def _run_reduce_smoke(samples: int = 3, seed: int = 0) -> bool:
+    """Reduce a tiny corpus with every pass on; check the invariants."""
+    import numpy as np
+
+    from repro.acfg.graph import from_sample
+    from repro.malgen import generate_corpus
+    from repro.reduce import ReduceConfig, reduce_acfg
+
+    config = ReduceConfig(
+        prune_dead_stores=True,
+        filter_leaves=True,
+        leaf_max_in_degree=8,
+        max_rounds=8,
+    )
+    corpus = generate_corpus(samples, seed=seed)
+    nodes_before = nodes_after = 0
+    problems: list[str] = []
+    for sample in corpus:
+        graph = from_sample(sample)
+        result = reduce_acfg(graph, cfg=sample.cfg, config=config)
+        nodes_before += graph.n_real
+        nodes_after += result.graph.n_real
+        name = sample.program.name
+        if result.graph.n_real > graph.n_real:
+            problems.append(f"{name}: node count grew")
+        if not np.all(np.isfinite(result.graph.features)):
+            problems.append(f"{name}: non-finite merged features")
+        scores = np.arange(1.0, result.graph.n_real + 1.0)
+        lifted = result.lift.lift_scores(scores)
+        if abs(float(lifted.sum()) - float(scores.sum())) > 1e-6 * scores.sum():
+            problems.append(f"{name}: importance mass not conserved")
+        # Default config must be a fixpoint of its own output.
+        once = reduce_acfg(graph, cfg=sample.cfg)
+        twice = reduce_acfg(once.graph)
+        if twice.graph.n_real != once.graph.n_real:
+            problems.append(f"{name}: default reduction not idempotent")
+    for problem in problems:
+        print(f"[check]   {problem}")
+    ok = not problems
+    status = "ok" if ok else "FAILED"
+    print(
+        f"[check] reduce smoke: {len(corpus)} graphs, "
+        f"{nodes_before} -> {nodes_after} nodes ({status})"
+    )
+    return ok
+
+
 def _run_fuzz_smoke(iterations: int = 500, seed: int = 0) -> bool:
     """A seeded fuzz campaign must finish with zero unhandled crashes.
 
@@ -236,7 +304,8 @@ def _run_fuzz_smoke(iterations: int = 500, seed: int = 0) -> bool:
     print(
         f"[check] fuzz smoke: {report.iterations} mutations, "
         f"{report.parsed} parsed, {report.quarantined} quarantined, "
-        f"{report.forwards} forwards, {report.explained} explained, "
+        f"{report.reduced} reduced, {report.forwards} forwards, "
+        f"{report.explained} explained, "
         f"{len(report.crashes)} crash(es) ({status})"
     )
     for crash in report.crashes:
@@ -278,6 +347,17 @@ def main(argv: list[str] | None = None) -> int:
         default=500,
         help="mutation count for the --fuzz gate",
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="also run the AST determinism lint over src/",
+    )
+    parser.add_argument(
+        "--reduce",
+        action="store_true",
+        help="also run the static-reduction smoke gate (all passes on a "
+        "tiny corpus, invariants checked directly)",
+    )
     args = parser.parse_args(argv)
     root = _repo_root()
     results: dict[str, bool | str] = {}
@@ -293,6 +373,10 @@ def main(argv: list[str] | None = None) -> int:
         results["profile smoke"] = _run_profile_smoke()
     if args.resume:
         results["resume smoke"] = _run_resume_smoke()
+    if args.lint:
+        results["determinism lint"] = _run_determinism_lint(root)
+    if args.reduce:
+        results["reduce smoke"] = _run_reduce_smoke(samples=3, seed=0)
     if args.fuzz:
         results["fuzz smoke"] = _run_fuzz_smoke(iterations=args.fuzz_iterations)
 

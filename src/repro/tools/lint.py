@@ -1,0 +1,355 @@
+"""AST-based determinism lint for the repro codebase.
+
+Numerical reproducibility dies by a thousand tiny cuts: iterating a
+``set`` whose order varies across interpreter runs, seeding nothing and
+hoping, or folding a wall-clock reading into a numeric result.  PR 4
+shipped exactly one of these (an unsorted-set iteration that reordered
+batch assembly); this lint makes the whole class mechanical.
+
+Rules (all purely syntactic — an expression is only flagged when the
+AST *proves* it is a set or a clock, never guessed from a name):
+
+``set-iteration``
+    A ``for`` statement or ordering-sensitive comprehension iterating
+    directly over a set literal, set comprehension, or ``set()`` /
+    ``frozenset()`` call.  Iteration order is randomized per process
+    (hash seed), so any downstream ordering inherits nondeterminism.
+    Not flagged when the iteration feeds an order-insensitive consumer
+    (``sorted``, ``sum``, ``any``, ``min``, ``set.update``, ...).
+
+``dict-values-iteration``
+    Same contexts over ``<expr>.values()``.  Value order follows key
+    insertion order, which silently reorders when the *population* code
+    changes — sort the keys or iterate ``sorted(d)`` instead.
+
+``unseeded-random``
+    ``random.<fn>()`` module-level calls, legacy ``np.random.<fn>()``
+    global-state calls, and ``default_rng()`` with no seed argument.
+    Every random draw in a numeric path must flow from an explicit
+    seed.
+
+``wall-clock-seed``
+    A wall-clock reading (``time.time``, ``time.time_ns``,
+    ``datetime.now``, ``datetime.utcnow``) used as a ``seed=`` keyword
+    or as an argument to a callee whose name mentions seed/rng/random.
+    Timing spans and log lines are fine; clocks feeding RNGs are not.
+
+A finding is suppressed by a ``# lint: ok`` comment on the same source
+line or the line directly above it (ideally with a parenthesized
+reason).  The lint runs over
+``src/`` in CI via ``repro-check --lint`` and is importable:
+``python -m repro.tools.lint <paths>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "LintFinding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: Callees whose result does not depend on iteration order, so feeding
+#: them a set/values() generator is harmless.
+_ORDER_INSENSITIVE_CALLEES: frozenset[str] = frozenset(
+    {
+        "all",
+        "any",
+        "dict",
+        "frozenset",
+        "len",
+        "max",
+        "min",
+        "set",
+        "sorted",
+        "sum",
+        "Counter",
+    }
+)
+
+#: Method names that fold their iterable argument order-insensitively.
+_ORDER_INSENSITIVE_METHODS: frozenset[str] = frozenset(
+    {"update", "union", "intersection", "difference", "issuperset", "issubset"}
+)
+
+#: ``random`` module functions that read the unseeded global state.
+_GLOBAL_RANDOM_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "gauss",
+        "getrandbits",
+        "normalvariate",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "shuffle",
+        "uniform",
+    }
+)
+
+#: Legacy numpy global-state samplers (``np.random.<fn>``).
+_NUMPY_GLOBAL_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "choice",
+        "normal",
+        "permutation",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "shuffle",
+        "uniform",
+    }
+)
+
+_WALL_CLOCK_ATTRIBUTES: frozenset[str] = frozenset(
+    {"time", "time_ns", "now", "utcnow"}
+)
+
+_SUPPRESSION_MARKER = "lint: ok"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism hazard at a source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: [{self.rule}] {self.message}"
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """True only when the AST proves the expression is a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: proven set if either operand is a proven set
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+def _is_values_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "values"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _is_wall_clock_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _WALL_CLOCK_ATTRIBUTES
+        and isinstance(node.func.value, (ast.Name, ast.Attribute))
+    )
+
+
+def _callee_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[LintFinding] = []
+        #: comprehension nodes consumed by an order-insensitive callee
+        self._order_insensitive_comprehensions: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    def _check_iterable(self, iterable: ast.expr, context: ast.AST) -> None:
+        if _is_set_expression(iterable):
+            self._add(
+                context,
+                "set-iteration",
+                "iterating a set in an ordering-sensitive context; wrap in "
+                "sorted(...) or restructure",
+            )
+        elif _is_values_call(iterable):
+            self._add(
+                context,
+                "dict-values-iteration",
+                "iterating dict.values() in an ordering-sensitive context; "
+                "iterate sorted keys instead",
+            )
+
+    # ------------------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _callee_name(node)
+        # Mark comprehension arguments of order-insensitive consumers.
+        if (
+            callee in _ORDER_INSENSITIVE_CALLEES
+            or callee in _ORDER_INSENSITIVE_METHODS
+        ):
+            for argument in node.args:
+                if isinstance(
+                    argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                ):
+                    self._order_insensitive_comprehensions.add(id(argument))
+
+        # unseeded-random
+        if isinstance(node.func, ast.Attribute):
+            owner = node.func.value
+            if (
+                isinstance(owner, ast.Name)
+                and owner.id == "random"
+                and node.func.attr in _GLOBAL_RANDOM_FUNCTIONS
+            ):
+                self._add(
+                    node,
+                    "unseeded-random",
+                    f"random.{node.func.attr}() reads unseeded global state; "
+                    "use random.Random(seed) or numpy default_rng(seed)",
+                )
+            if (
+                isinstance(owner, ast.Attribute)
+                and owner.attr == "random"
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id in {"np", "numpy"}
+                and node.func.attr in _NUMPY_GLOBAL_FUNCTIONS
+            ):
+                self._add(
+                    node,
+                    "unseeded-random",
+                    f"np.random.{node.func.attr}() reads the legacy global "
+                    "generator; use np.random.default_rng(seed)",
+                )
+        if callee == "default_rng" and not node.args and not node.keywords:
+            self._add(
+                node,
+                "unseeded-random",
+                "default_rng() without a seed draws entropy from the OS; "
+                "pass an explicit seed",
+            )
+
+        # wall-clock-seed
+        seedish_callee = any(
+            fragment in callee.lower() for fragment in ("seed", "rng", "random")
+        )
+        for keyword in node.keywords:
+            if keyword.arg and (
+                "seed" in keyword.arg.lower() or seedish_callee
+            ):
+                if _is_wall_clock_call(keyword.value):
+                    self._add(
+                        keyword.value,
+                        "wall-clock-seed",
+                        "wall-clock reading used as a seed; derive seeds "
+                        "from config, never the clock",
+                    )
+        if seedish_callee:
+            for argument in node.args:
+                if _is_wall_clock_call(argument):
+                    self._add(
+                        argument,
+                        "wall-clock-seed",
+                        "wall-clock reading passed to a seeding/RNG call; "
+                        "derive seeds from config, never the clock",
+                    )
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        if id(node) not in self._order_insensitive_comprehensions:
+            for generator in node.generators:
+                self._check_iterable(generator.iter, node)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if id(node) not in self._order_insensitive_comprehensions:
+            for generator in node.generators:
+                self._check_iterable(generator.iter, node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one source string; suppressions already applied."""
+    tree = ast.parse(source, filename=path)
+    # Order-insensitive consumers are discovered at their Call node,
+    # which ast.NodeVisitor reaches before the argument comprehension —
+    # a single pass suffices.
+    visitor = _DeterminismVisitor(path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept = []
+    for finding in sorted(visitor.findings, key=lambda f: (f.line, f.column)):
+        same = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        above = lines[finding.line - 2] if finding.line >= 2 else ""
+        suppressed = _SUPPRESSION_MARKER in same or (
+            _SUPPRESSION_MARKER in above and above.lstrip().startswith("#")
+        )
+        if not suppressed:
+            kept.append(finding)
+    return kept
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path))
+
+
+def lint_paths(paths: list[str | Path]) -> list[LintFinding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: list[LintFinding] = []
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for file in files:
+            findings.extend(lint_file(file))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    targets = argv or ["src"]
+    findings = lint_paths(list(targets))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} determinism finding(s)")
+        return 1
+    print(f"determinism lint clean over {', '.join(map(str, targets))}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

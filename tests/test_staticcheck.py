@@ -137,6 +137,115 @@ class TestDominators:
         assert natural_loops(cfg) == []
 
 
+class TestMultiExitAndIrreducible:
+    """The PR-6 additions: postdominators, edge classification, typed errors."""
+
+    def multi_exit(self):
+        def emit(b):
+            b.emit("cmp", "eax", "0")
+            b.emit("je", "l_other")
+            b.emit("ret")
+            b.label("l_other")
+            b.emit("ret")
+
+        return build(emit)
+
+    def test_postdominators_handle_multiple_exits(self):
+        from repro.staticcheck import VIRTUAL_EXIT, postdominator_tree
+
+        _, cfg = self.multi_exit()
+        tree = postdominator_tree(cfg)
+        # Both ret blocks postdominate only themselves; the branch block
+        # is immediately postdominated by the virtual exit, not by
+        # either real ret.
+        assert tree.idom[0] == VIRTUAL_EXIT
+        assert tree.idom[1] == VIRTUAL_EXIT
+        assert tree.idom[2] == VIRTUAL_EXIT
+
+    def test_exitless_graph_raises_typed_error(self):
+        from repro.staticcheck import AnalysisError, ExitlessGraphError, postdominator_tree
+
+        def emit(b):
+            b.label("spin")
+            b.emit("jmp", "spin")
+
+        _, cfg = build(emit)
+        with pytest.raises(ExitlessGraphError):
+            postdominator_tree(cfg)
+        assert issubclass(ExitlessGraphError, AnalysisError)
+        assert issubclass(AnalysisError, ValueError)
+
+    def test_retreating_edges_on_a_loop(self):
+        from repro.staticcheck import retreating_edges
+
+        def emit(b):
+            b.emit("mov", "ecx", "5")
+            b.label("top")
+            b.emit("dec", "ecx")
+            b.emit("jnz", "top")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        assert retreating_edges(cfg) == [(1, 1)]
+
+    def test_acyclic_graph_has_no_retreating_edges(self):
+        from repro.staticcheck import retreating_edges
+
+        _, cfg = diamond()
+        assert retreating_edges(cfg) == []
+
+    def test_reducible_loop_has_no_irreducible_edges(self):
+        from repro.staticcheck import irreducible_edges
+
+        def emit(b):
+            b.label("top")
+            b.emit("dec", "ecx")
+            b.emit("jnz", "top")
+            b.emit("ret")
+
+        _, cfg = build(emit)
+        assert irreducible_edges(cfg) == []
+
+    def test_two_entry_cycle_is_irreducible(self):
+        from repro.staticcheck import irreducible_edges, retreating_edges
+
+        # entry -> {A, B}; A -> B; B -> A: a cycle neither member
+        # dominates, i.e. a multi-entry (irreducible) loop.
+        def emit(b):
+            b.emit("cmp", "eax", "0")
+            b.emit("je", "l_b")
+            b.label("l_a")
+            b.emit("inc", "eax")
+            b.emit("jmp", "l_b")
+            b.label("l_b")
+            b.emit("dec", "eax")
+            b.emit("jmp", "l_a")
+
+        _, cfg = build(emit)
+        retreating = retreating_edges(cfg)
+        irreducible = irreducible_edges(cfg)
+        assert irreducible  # the cycle-closing edge is not a back edge
+        assert set(irreducible) <= set(retreating)
+
+    def test_dominator_tree_from_successors_matches_cfg_path(self):
+        from repro.staticcheck import dominator_tree_from_successors
+
+        _, cfg = diamond()
+        successors = {b.index: [] for b in cfg.blocks}
+        for source, target, _ in cfg.edges:
+            if target not in successors[source]:
+                successors[source].append(target)
+        tree = dominator_tree_from_successors(successors, entry=0)
+        reference = dominator_tree(cfg)
+        assert tree.idom == reference.idom
+
+    def test_from_successors_missing_entry_is_typed(self):
+        from repro.staticcheck import EntryNotFoundError, dominator_tree_from_successors
+
+        with pytest.raises(EntryNotFoundError):
+            dominator_tree_from_successors({1: []}, entry=0)
+
+
 class TestDefUse:
     @pytest.mark.parametrize(
         "mnemonic,operands,uses,defs",

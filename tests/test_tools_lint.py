@@ -1,0 +1,145 @@
+"""The AST determinism lint: planted hazards must be caught, idioms not.
+
+The acceptance contract: the lint is purely syntactic (never guesses
+from names), catches a planted unsorted-set iteration, and the real
+``src/`` tree is clean under it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import lint_paths, lint_source, main
+
+SRC = Path(__file__).parent.parent / "src"
+
+
+def rules(source: str) -> list[str]:
+    return [f.rule for f in lint_source(source)]
+
+
+class TestSetIteration:
+    def test_planted_unsorted_set_iteration_is_caught(self):
+        source = "for x in {3, 1, 2}:\n    print(x)\n"
+        assert rules(source) == ["set-iteration"]
+
+    def test_set_call_iteration_is_caught(self):
+        assert rules("for x in set(items):\n    use(x)\n") == ["set-iteration"]
+
+    def test_set_algebra_is_caught(self):
+        source = "for x in {1} | other:\n    use(x)\n"
+        assert rules(source) == ["set-iteration"]
+
+    def test_comprehension_over_set_is_caught(self):
+        assert rules("out = [f(x) for x in {1, 2}]\n") == ["set-iteration"]
+
+    def test_sorted_set_is_fine(self):
+        assert rules("for x in sorted({3, 1, 2}):\n    print(x)\n") == []
+
+    def test_order_insensitive_consumer_is_fine(self):
+        assert rules("total = sum(f(x) for x in {1, 2})\n") == []
+        assert rules("ok = any(p(x) for x in set(items))\n") == []
+        assert rules("seen.update(x.name for x in {a, b})\n") == []
+
+    def test_list_iteration_is_never_flagged(self):
+        # Purely syntactic: a name that *might* hold a set is not proof.
+        assert rules("for x in maybe_a_set:\n    print(x)\n") == []
+
+
+class TestDictValues:
+    def test_values_iteration_is_caught(self):
+        source = "for v in mapping.values():\n    use(v)\n"
+        assert rules(source) == ["dict-values-iteration"]
+
+    def test_sorted_keys_is_fine(self):
+        assert rules("for k in sorted(mapping):\n    use(mapping[k])\n") == []
+
+    def test_values_into_sum_is_fine(self):
+        assert rules("total = sum(v for v in mapping.values())\n") == []
+
+
+class TestUnseededRandom:
+    def test_global_random_is_caught(self):
+        assert rules("import random\nx = random.random()\n") == [
+            "unseeded-random"
+        ]
+
+    def test_numpy_legacy_global_is_caught(self):
+        assert rules("import numpy as np\nx = np.random.rand(3)\n") == [
+            "unseeded-random"
+        ]
+
+    def test_bare_default_rng_is_caught(self):
+        assert rules("rng = default_rng()\n") == ["unseeded-random"]
+
+    def test_seeded_default_rng_is_fine(self):
+        assert rules("rng = np.random.default_rng(0)\n") == []
+        assert rules("rng = default_rng(seed)\n") == []
+
+    def test_instance_methods_are_fine(self):
+        # rng.random() is a Generator method, not the global state.
+        assert rules("x = rng.random()\n") == []
+
+
+class TestWallClockSeed:
+    def test_clock_as_seed_keyword_is_caught(self):
+        source = "import time\nrun(seed=time.time())\n"
+        assert rules(source) == ["wall-clock-seed"]
+
+    def test_clock_into_rng_call_is_caught(self):
+        source = "rng = make_rng(time.time_ns())\n"
+        assert rules(source) == ["wall-clock-seed"]
+
+    def test_clock_for_timing_is_fine(self):
+        assert rules("start = time.time()\n") == []
+        assert rules("log(elapsed=time.time() - start)\n") == []
+
+
+class TestSuppression:
+    def test_same_line_marker_suppresses(self):
+        source = "for x in {1, 2}:  # lint: ok (singleton at runtime)\n    use(x)\n"
+        assert rules(source) == []
+
+    def test_comment_line_above_suppresses(self):
+        source = "# lint: ok (order irrelevant here)\nfor x in {1, 2}:\n    use(x)\n"
+        assert rules(source) == []
+
+    def test_non_comment_line_above_does_not_suppress(self):
+        source = "text = 'lint: ok'\nfor x in {1, 2}:\n    use(x)\n"
+        assert rules(source) == ["set-iteration"]
+
+
+class TestGate:
+    def test_src_tree_is_clean(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("for x in sorted({1, 2}):\n    print(x)\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("for x in {1, 2}:\n    print(x)\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "set-iteration" in out
+
+    def test_directory_target_recurses(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "mod.py").write_text("for v in d.values():\n    go(v)\n")
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["dict-values-iteration"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "x = {k: v for k, v in pairs}\n",  # dict comp over a list
+        "s = {x for x in items}\n",  # building a set is fine
+        "n = len({1, 2, 3})\n",
+        "frozenset(x for x in {1, 2})\n",
+    ],
+)
+def test_benign_idioms_pass(source):
+    assert lint_source(source) == []
