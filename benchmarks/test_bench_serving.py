@@ -1,0 +1,87 @@
+"""Serving SLO lane: closed-loop load against the in-process daemon.
+
+Trains a small pipeline, wraps it in :class:`repro.serve.InferenceEngine`,
+and drives a fresh :class:`repro.serve.ServeDaemon` with the
+deterministic closed-loop generator (:mod:`repro.serve.loadgen`) at
+several concurrency levels.  Writes ``BENCH_serving.json`` (repo root
+or ``$REPRO_BENCH_DIR``) with per-level p50/p99 latency and
+graphs/sec; ``repro.tools.bench_compare`` gates the latencies with the
+lower-is-better ``*_p50_ms`` / ``*_p99_ms`` policies and the
+throughput with the ``*graphs_per_sec`` gate.
+
+Like the other lanes this module builds its own corpus and models so
+the measured numbers do not depend on fixture sharing; the workload
+(6 unique graphs, 24 requests per client, levels 1/2/4) is sized for a
+single-CPU runner and repeats graphs so the content-addressed cache is
+exercised under load.
+"""
+
+import json
+
+import numpy as np
+from conftest import bench_artifact_path
+
+from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
+from repro.acfg.graph import from_sample
+from repro.core import CFGExplainer, CFGExplainerModel, train_cfgexplainer
+from repro.gnn import GCNClassifier, train_gnn
+from repro.malgen import generate_corpus
+from repro.serve import InferenceEngine, run_slo_benchmark
+
+ARTIFACT_NAME = "BENCH_serving.json"
+
+SAMPLES_PER_FAMILY = 2
+SEED = 9
+LEVELS = (1, 2, 4)
+REQUESTS_PER_CLIENT = 24
+UNIQUE_GRAPHS = 6
+
+
+def _build_engine(corpus) -> InferenceEngine:
+    dataset = ACFGDataset.from_corpus(corpus)
+    train, _ = train_test_split(dataset, test_fraction=0.25, seed=0)
+    scaler = FeatureScaler().fit(list(train))
+    scaled = train.scaled(scaler)
+    gnn = GCNClassifier(hidden=(32, 24, 16), rng=np.random.default_rng(0))
+    train_gnn(gnn, scaled, epochs=40, batch_size=16, lr=0.005, seed=0)
+    theta = CFGExplainerModel(
+        gnn.embedding_size, scaled.num_classes, rng=np.random.default_rng(1)
+    )
+    train_cfgexplainer(
+        theta, gnn, scaled, num_epochs=120, minibatch_size=16, lr=0.003, seed=0
+    )
+    return InferenceEngine(
+        gnn=gnn,
+        scaler=scaler,
+        explainers={"CFGExplainer": CFGExplainer(gnn, theta)},
+        families=dataset.families,
+    )
+
+
+def test_bench_serving_slo():
+    corpus = generate_corpus(SAMPLES_PER_FAMILY, seed=SEED)
+    engine = _build_engine(corpus)
+    graphs = [from_sample(sample) for sample in corpus[:UNIQUE_GRAPHS]]
+
+    report = run_slo_benchmark(
+        engine,
+        graphs,
+        levels=LEVELS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+    )
+    bench_artifact_path(ARTIFACT_NAME).write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    for level in LEVELS:
+        row = report["serving"][f"concurrency_{level}"]
+        print(
+            f"concurrency {level}:  p50 {row['latency_p50_ms']:8.2f} ms"
+            f"  p99 {row['latency_p99_ms']:8.2f} ms"
+            f"  {row['graphs_per_sec']:6.2f} graphs/s"
+            f"  cache hits {row['cache_hits']}"
+        )
+        # Closed-loop clients retry on backpressure: every request must
+        # eventually complete, and repeats must hit the cache.
+        assert row["completed"] == level * REQUESTS_PER_CLIENT
+        assert row["cache_hits"] > 0
+        assert row["latency_p99_ms"] >= row["latency_p50_ms"]

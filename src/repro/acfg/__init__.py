@@ -8,6 +8,13 @@ from repro.acfg.features import (
     cfg_feature_matrix,
 )
 from repro.acfg.graph import ACFG, from_sample
+from repro.acfg.ingest import (
+    CorpusIngest,
+    IngestPolicy,
+    SampleIngest,
+    ingest_corpus,
+    ingest_sample,
+)
 
 __all__ = [
     "FEATURE_NAMES",
@@ -19,4 +26,9 @@ __all__ = [
     "ACFGDataset",
     "FeatureScaler",
     "train_test_split",
+    "CorpusIngest",
+    "IngestPolicy",
+    "SampleIngest",
+    "ingest_corpus",
+    "ingest_sample",
 ]

@@ -5,10 +5,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.acfg.graph import ACFG, from_sample
+from repro.acfg.graph import ACFG
 from repro.malgen.corpus import LabeledSample
 from repro.malgen.families import FAMILIES
 from repro.nn.guards import NumericalError
@@ -73,127 +74,6 @@ class FeatureScaler:
         return replace(graph, features=transformed)
 
 
-def _sanitize_corpus(
-    corpus: list[LabeledSample], on_bad_input: str, sanitizer
-) -> tuple[list[LabeledSample], list[ACFG], "object"]:
-    """Run the :mod:`repro.harden` sanitizer over a corpus.
-
-    Returns ``(kept_samples, kept_graphs, report)``; conversion happens
-    here (inside the sample's try/except) so a sample whose CFG→ACFG
-    conversion explodes is quarantined as ``construction_error`` rather
-    than crashing ingestion.
-    """
-    # Imported here: repro.harden depends on repro.acfg.
-    from repro.harden.sanitize import (
-        GraphSanitizer,
-        HostileInputError,
-        ON_BAD_INPUT_POLICIES,
-        QuarantineRecord,
-        QuarantineReport,
-    )
-
-    if on_bad_input not in ON_BAD_INPUT_POLICIES:
-        raise ValueError(
-            f"on_bad_input must be one of {ON_BAD_INPUT_POLICIES}, "
-            f"got {on_bad_input!r}"
-        )
-    sanitizer = sanitizer or GraphSanitizer()
-    report = QuarantineReport(inspected=len(corpus))
-    kept_samples: list[LabeledSample] = []
-    kept_graphs: list[ACFG] = []
-    for sample in corpus:
-        records = sanitizer.check_sample(sample)
-        graph = None
-        try:
-            graph = from_sample(sample)
-        except Exception as error:  # hostile input can fail anywhere
-            records.append(
-                QuarantineRecord(
-                    sample.program.name,
-                    sample.family,
-                    "construction_error",
-                    f"{type(error).__name__}: {error}",
-                    "construction",
-                )
-            )
-        else:
-            records.extend(sanitizer.check_acfg(graph))
-        report.records.extend(records)
-        fatal = [r for r in records if sanitizer.is_fatal(r)]
-        if fatal:
-            if on_bad_input == "raise":
-                raise HostileInputError(fatal[0])
-            report.quarantined.append(sample.program.name)
-            add_counter("harden.quarantined")
-            for record in fatal:
-                add_counter(f"harden.quarantine.{record.reason}")
-            continue
-        if records:
-            add_counter("harden.flagged")
-        kept_samples.append(sample)
-        kept_graphs.append(graph)
-    add_counter("harden.inspected", len(corpus))
-    return kept_samples, kept_graphs, report
-
-
-def _reduce_graphs(
-    samples: list[LabeledSample],
-    graphs: list[ACFG],
-    reduce_config,
-    on_bad_input: str | None,
-    report,
-):
-    """Run :func:`repro.reduce.reduce_acfg` over a converted corpus.
-
-    Returns ``(reduced_graphs, lift_maps_by_name, corpus_stats)``.  A
-    graph whose reduction raises is quarantined (when the policy allows)
-    with reason ``reduction_error`` instead of crashing ingestion, so
-    reduction composes with the hostile-input pipeline.
-    """
-    # Imported here: repro.reduce depends on repro.acfg.
-    from repro.harden.sanitize import HostileInputError, QuarantineRecord
-    from repro.reduce import merge_stats, reduce_acfg
-
-    kept: list[ACFG] = []
-    lift_maps: dict[str, object] = {}
-    stats = []
-    for sample, graph in zip(samples, graphs):
-        try:
-            result = reduce_acfg(graph, cfg=sample.cfg, config=reduce_config)
-        except (ArithmeticError, ValueError) as error:
-            record = QuarantineRecord(
-                sample.program.name,
-                sample.family,
-                "reduction_error",
-                f"{type(error).__name__}: {error}",
-                "reduce",
-            )
-            if on_bad_input == "quarantine":
-                if report is not None:
-                    report.records.append(record)
-                    report.quarantined.append(sample.program.name)
-                add_counter("reduce.quarantined")
-                continue
-            if on_bad_input == "raise":
-                raise HostileInputError(record) from error
-            raise
-        kept.append(result.graph)
-        lift_maps[result.graph.name] = result.lift
-        stats.append(result.stats)
-    totals = merge_stats(stats)
-    add_counter("reduce.graphs", len(kept))
-    add_counter("reduce.nodes_before", totals.nodes_before)
-    add_counter("reduce.nodes_after", totals.nodes_after)
-    add_counter("reduce.edges_before", totals.edges_before)
-    add_counter("reduce.edges_after", totals.edges_after)
-    add_counter("reduce.blocks_merged", totals.blocks_merged)
-    add_counter("reduce.chains_collapsed", totals.chains_collapsed)
-    add_counter("reduce.unreachable_pruned", totals.unreachable_pruned)
-    add_counter("reduce.dead_store_bypassed", totals.dead_store_bypassed)
-    add_counter("reduce.leaves_pruned", totals.leaves_pruned)
-    return kept, lift_maps, totals
-
-
 class ACFGDataset:
     """A list of equally padded ACFGs plus class metadata."""
 
@@ -232,8 +112,16 @@ class ACFGDataset:
         on_bad_input: str | None = None,
         sanitizer=None,
         reduce=None,
+        policy: "IngestPolicy | None" = None,
     ) -> "ACFGDataset":
         """Convert a generated corpus, padding all graphs to a common N.
+
+        The sanitize → verify → reduce ordering is implemented once, in
+        :func:`repro.acfg.ingest.ingest_corpus` (the serving engine runs
+        the same path per submission); this method adds padding and
+        dataset assembly on top.  Pass either a prebuilt
+        :class:`~repro.acfg.ingest.IngestPolicy` via ``policy`` or the
+        individual knobs:
 
         ``on_bad_input`` is the hostile-input policy
         (:mod:`repro.harden`): ``"quarantine"`` drops samples with fatal
@@ -259,28 +147,18 @@ class ACFGDataset:
         reduction fails is quarantined under the same ``on_bad_input``
         policy as ingestion failures.
         """
-        report = None
-        if on_bad_input is not None:
-            with obs_span("dataset.sanitize"):
-                corpus, graphs, report = _sanitize_corpus(
-                    corpus, on_bad_input, sanitizer
-                )
-        if verify is not None:
-            # Imported here: repro.staticcheck depends on repro.acfg.
-            from repro.staticcheck import verify_corpus
+        from repro.acfg.ingest import IngestPolicy, ingest_corpus
 
-            with obs_span("dataset.verify"):
-                verify_corpus(corpus, mode=verify)
-        lift_maps = None
-        reduction = None
+        if policy is None:
+            policy = IngestPolicy(
+                on_bad_input=on_bad_input,
+                verify=verify,
+                reduce=reduce,
+                sanitizer=sanitizer,
+            )
+        ingest = ingest_corpus(corpus, policy)
         with obs_span("dataset.from_corpus"):
-            if on_bad_input is None:
-                graphs = [from_sample(sample) for sample in corpus]
-            if reduce is not None:
-                with obs_span("dataset.reduce"):
-                    graphs, lift_maps, reduction = _reduce_graphs(
-                        corpus, graphs, reduce, on_bad_input, report
-                    )
+            graphs = ingest.graphs
             if not graphs:
                 raise ValueError(
                     "no graphs survived ingestion (entire corpus quarantined?)"
@@ -294,10 +172,10 @@ class ACFGDataset:
                 )
             add_counter("dataset.graphs", len(graphs))
             dataset = cls(
-                [g.padded(pad_to) for g in graphs], families, lift_maps=lift_maps
+                [g.padded(pad_to) for g in graphs], families, lift_maps=ingest.lift_maps
             )
-            dataset.quarantine = report
-            dataset.reduction = reduction
+            dataset.quarantine = ingest.quarantine
+            dataset.reduction = ingest.reduction
             return dataset
 
     def __len__(self) -> int:

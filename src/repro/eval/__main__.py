@@ -287,18 +287,18 @@ def run_evaluation(args: argparse.Namespace) -> int:
     print("\n## Table V — qualitative patterns (top-20% subgraphs)\n")
     from repro.acfg.graph import from_sample
 
-    explainer = artifacts.explainers["CFGExplainer"]
+    engine = artifacts.engine(explainer="CFGExplainer")
     pairs = []
     for family in artifacts.test_set.families:
         for graph in artifacts.test_set.of_family(family)[:3]:
             sample = artifacts.sample_for(graph.name)
             lift = artifacts.lift_map_for(graph.name)
-            if lift is not None and not lift.is_identity:
-                explanation = explainer.explain_lifted(
-                    graph, from_sample(sample), lift
-                )
-            else:
-                explanation = explainer.explain(graph)
+            explanation = engine.explain_graph(
+                graph,
+                original=from_sample(sample) if lift is not None else None,
+                lift=lift,
+                step_size=10,
+            )
             pairs.append((sample, explanation))
     print(format_table_v(build_family_reports(pairs)))
 

@@ -18,7 +18,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # import kept lazy at runtime, like staticcheck's
+    from repro.acfg.ingest import IngestPolicy
     from repro.harden.sanitize import QuarantineReport
+    from repro.serve.engine import InferenceEngine
 
 from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
 from repro.baselines import (
@@ -184,6 +186,21 @@ class ExperimentConfig:
         if self.retry_backoff_seconds < 0:
             raise ValueError("retry_backoff_seconds cannot be negative")
 
+    def ingest_policy(self, verify: str | None = "config") -> "IngestPolicy":
+        """The :class:`repro.acfg.IngestPolicy` this config implies.
+
+        ``verify="config"`` (default) uses :attr:`verify_mode`; pass an
+        explicit value (e.g. ``None`` for a corpus restored from a
+        checkpoint that already passed the gate) to override it.
+        """
+        from repro.acfg import IngestPolicy
+
+        return IngestPolicy(
+            on_bad_input=self.on_bad_input,
+            verify=self.verify_mode if verify == "config" else verify,
+            reduce=self.reduce,
+        )
+
 
 #: The configuration reported in the paper (Section V-A), for reference
 #: and for anyone with the hardware to run at full scale.
@@ -230,6 +247,14 @@ class PipelineArtifacts:
         if self.lift_maps is None:
             return None
         return self.lift_maps.get(graph_name)
+
+    def engine(self, explainer: str = "CFGExplainer") -> "InferenceEngine":
+        """A serving :class:`repro.serve.InferenceEngine` over these
+        frozen artifacts (lazy import: repro.serve depends on this
+        module's consumers, not the other way around)."""
+        from repro.serve.engine import InferenceEngine
+
+        return InferenceEngine.from_artifacts(self, explainer=explainer)
 
 
 #: Stage names persisted by a checkpointed :func:`run_pipeline`, in
@@ -280,12 +305,7 @@ def build_untrained_artifacts(config: ExperimentConfig) -> PipelineArtifacts:
         seed=config.corpus_seed,
         size_multiplier=config.size_multiplier,
     )
-    dataset = ACFGDataset.from_corpus(
-        corpus,
-        verify=None,
-        on_bad_input=config.on_bad_input,
-        reduce=config.reduce,
-    )
+    dataset = ACFGDataset.from_corpus(corpus, policy=config.ingest_policy(verify=None))
     train_raw, test_raw = train_test_split(
         dataset, config.test_fraction, seed=config.seed
     )
@@ -423,9 +443,9 @@ def run_pipeline(
         # original run; don't pay for re-verification.
         dataset = ACFGDataset.from_corpus(
             corpus,
-            verify=None if dataset_restored else config.verify_mode,
-            on_bad_input=config.on_bad_input,
-            reduce=config.reduce,
+            policy=config.ingest_policy(
+                verify=None if dataset_restored else "config"
+            ),
         )
         train_raw, test_raw = train_test_split(
             dataset, config.test_fraction, seed=rng_seed

@@ -18,7 +18,12 @@ Three pieces, designed to stay out of the hot path unless asked for:
 DESIGN.md §Observability for the span taxonomy and manifest schema.
 """
 
-from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
+from repro.obs.manifest import (
+    GRAPH_FINGERPRINT_VERSION,
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    fingerprint_graph,
+)
 from repro.obs.metrics import MetricsRegistry, metrics_registry
 from repro.obs.trace import (
     Span,
@@ -33,6 +38,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "GRAPH_FINGERPRINT_VERSION",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "RunManifest",
@@ -41,6 +47,7 @@ __all__ = [
     "Tracer",
     "add_counter",
     "current_span",
+    "fingerprint_graph",
     "get_tracer",
     "iter_spans",
     "metrics_registry",

@@ -26,10 +26,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.obs.trace import Tracer
 
-__all__ = ["RunManifest", "MANIFEST_SCHEMA_VERSION"]
+__all__ = [
+    "GRAPH_FINGERPRINT_VERSION",
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "fingerprint_graph",
+]
 
 #: Bumped whenever the serialized layout changes shape.
 MANIFEST_SCHEMA_VERSION = 1
@@ -85,6 +92,77 @@ def _jsonable(value: Any):
     if isinstance(value, Path):
         return str(value)
     return str(value)
+
+
+#: Bumped whenever :func:`fingerprint_graph`'s hashing scheme changes,
+#: so persisted cache keys from an older scheme can never collide with
+#: newer ones.
+GRAPH_FINGERPRINT_VERSION = 1
+
+
+def fingerprint_graph(graph: Any, rounds: int = 3) -> str:
+    """Content-address an ACFG: hash of structure + features, node-order
+    insensitive.
+
+    The digest is a Weisfeiler-Lehman refinement over SHA-256 labels:
+    each node starts as the hash of its (canonicalized float64) feature
+    row, then for ``rounds`` iterations absorbs the sorted multiset of
+    ``(direction, edge type, neighbor label)`` messages, and the final
+    fingerprint hashes the sorted multiset of node labels.  Properties
+    the serving cache relies on:
+
+    * **Permutation-invariant** — relabeling nodes consistently
+      (``P·A·Pᵀ``, ``P·X``) leaves the fingerprint unchanged, so the
+      same program disassembled with a different block order hits the
+      same cache entry.
+    * **Content-sensitive** — any feature edit, added/removed edge, or
+      edge-type flip (conditional 2 vs unconditional 1) changes it.
+    * **Padding-insensitive** — only the first ``n_real`` nodes
+      participate; padded copies of a graph share its fingerprint.
+    * **Process-independent** — pure SHA-256 over canonical bytes, no
+      ``hash()``/randomization, so keys survive daemon restarts.
+
+    ``graph`` is duck-typed (``adjacency``/``features``/``n_real``)
+    because :mod:`repro.acfg` imports :mod:`repro.obs`, not vice versa.
+    Like all WL schemes, graphs a ``rounds``-step WL refinement cannot
+    distinguish collide — irrelevant in practice since block feature
+    rows are nearly unique, and harmless here: a collision only serves
+    a cached explanation for a WL-equivalent graph.
+    """
+    adjacency = np.asarray(graph.adjacency, dtype=np.float64)
+    n = int(getattr(graph, "n_real", None) or adjacency.shape[0])
+    adjacency = adjacency[:n, :n]
+    # +0.0 canonicalizes -0.0 so byte views of equal values agree.
+    features = np.asarray(graph.features, dtype=np.float64)[:n] + 0.0
+
+    labels = [hashlib.sha256(features[i].tobytes()).digest() for i in range(n)]
+    sources, targets = np.nonzero(adjacency)
+    weights = [np.float64(w).tobytes() for w in adjacency[sources, targets]]
+    out_edges: list[list[int]] = [[] for _ in range(n)]
+    in_edges: list[list[int]] = [[] for _ in range(n)]
+    for k in range(len(sources)):
+        out_edges[sources[k]].append(k)
+        in_edges[targets[k]].append(k)
+
+    for _ in range(rounds):
+        refined = []
+        for i in range(n):
+            digest = hashlib.sha256(labels[i])
+            messages = sorted(
+                [b"o" + weights[k] + labels[targets[k]] for k in out_edges[i]]
+                + [b"i" + weights[k] + labels[sources[k]] for k in in_edges[i]]
+            )
+            for message in messages:
+                digest.update(message)
+            refined.append(digest.digest())
+        labels = refined
+
+    digest = hashlib.sha256(
+        f"acfg-wl:v{GRAPH_FINGERPRINT_VERSION}:n={n}:rounds={rounds}".encode()
+    )
+    for label in sorted(labels):
+        digest.update(label)
+    return digest.hexdigest()
 
 
 @dataclass

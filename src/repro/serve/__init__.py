@@ -1,0 +1,47 @@
+"""Layered serving system: engine → daemon → load generator.
+
+Turns the one-shot pipeline into a long-running service (the ROADMAP's
+"system serving traffic" refactor).  Three layers:
+
+* :mod:`repro.serve.engine` — :class:`InferenceEngine`, frozen model
+  artifacts plus the single implementation of the per-submission
+  sanitize → verify → (reduce) → classify → explain path, shared with
+  corpus construction through :mod:`repro.acfg.ingest` and with
+  ``python -m repro.eval``'s explain loop.
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`, the front door:
+  bounded admission queue with typed rejection (backpressure /
+  oversize / quarantine), a micro-batcher coalescing concurrent
+  classifies through ``forward_batch`` within a latency budget, and a
+  content-addressed explanation cache keyed by
+  :func:`repro.obs.fingerprint_graph` with LRU eviction.
+* :mod:`repro.serve.loadgen` — closed-loop deterministic load
+  generation emitting the ``BENCH_serving.json`` SLO numbers gated by
+  ``repro-bench-compare``.
+
+``python -m repro.serve`` runs a demo daemon; ``python -m repro.serve
+bench`` produces the benchmark artifact.  See DESIGN.md §Serving.
+"""
+
+from repro.serve.daemon import DaemonConfig, ExplanationCache, ServeDaemon
+from repro.serve.engine import (
+    EngineResponse,
+    InferenceEngine,
+    PreparedRequest,
+    RequestRejected,
+    submission_from_text,
+)
+from repro.serve.loadgen import LoadResult, run_closed_loop, run_slo_benchmark
+
+__all__ = [
+    "DaemonConfig",
+    "EngineResponse",
+    "ExplanationCache",
+    "InferenceEngine",
+    "LoadResult",
+    "PreparedRequest",
+    "RequestRejected",
+    "ServeDaemon",
+    "run_closed_loop",
+    "run_slo_benchmark",
+    "submission_from_text",
+]

@@ -1,0 +1,166 @@
+"""Serving CLI.
+
+``python -m repro.serve`` trains a tiny pipeline, starts the daemon
+in-process and serves a handful of submissions — including a repeat
+that must hit the explanation cache — then prints the ``serve.*``
+counters.  ``python -m repro.serve bench`` runs the closed-loop SLO
+benchmark at several concurrency levels and writes
+``BENCH_serving.json`` (to the repo root or ``$REPRO_BENCH_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+
+def _tiny_config(samples_per_family: int):
+    from repro.eval.profile import PROFILE_CONFIG
+
+    return replace(
+        PROFILE_CONFIG,
+        samples_per_family=samples_per_family,
+        gnn_epochs=8,
+        explainer_epochs=10,
+        gnnexplainer_epochs=3,
+        pgexplainer_epochs=2,
+        subgraphx_iterations=4,
+        subgraphx_shapley_samples=1,
+    )
+
+
+def _bench_path(name: str) -> Path:
+    override = os.environ.get("REPRO_BENCH_DIR")
+    base = Path(override) if override else Path.cwd()
+    base.mkdir(parents=True, exist_ok=True)
+    return base / name
+
+
+def _build_engine(samples_per_family: int, explainer: str):
+    from repro.eval.pipeline import run_pipeline
+
+    print(f"[serve] training tiny pipeline ({samples_per_family} graphs/family)...")
+    artifacts = run_pipeline(_tiny_config(samples_per_family))
+    return artifacts, artifacts.engine(explainer=explainer)
+
+
+def _demo(args) -> int:
+    from repro.obs import metrics_registry
+    from repro.serve import DaemonConfig, ServeDaemon
+
+    artifacts, engine = _build_engine(args.samples, args.explainer)
+    submissions = artifacts.corpus[: args.requests]
+    before = metrics_registry().snapshot()
+    with ServeDaemon(engine, DaemonConfig()) as daemon:
+        print(f"[serve] daemon up; serving {len(submissions)} submissions")
+        for sample in submissions:
+            start = time.perf_counter()
+            response = daemon.submit(sample)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            top = ", ".join(
+                str(i) for i in response.explanation.node_order[:5]
+            )
+            print(
+                f"  {response.name:<24} -> {response.family:<12} "
+                f"p={response.probabilities[response.predicted_class]:.3f} "
+                f"top blocks [{top}] "
+                f"{'cached' if response.cached else 'cold':>6} "
+                f"{elapsed_ms:8.1f} ms"
+            )
+        # The repeat must be served from the content-addressed cache.
+        start = time.perf_counter()
+        repeat = daemon.submit(submissions[0])
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        print(
+            f"  {repeat.name:<24} -> {repeat.family:<12} "
+            f"{'cached' if repeat.cached else 'cold':>6} {elapsed_ms:8.1f} ms"
+        )
+    delta = metrics_registry().delta_since(before)
+    print("[serve] counters:")
+    for name in sorted(delta):
+        if name.startswith("serve."):
+            print(f"  {name:<32} {delta[name]}")
+    return 0 if repeat.cached else 1
+
+
+def _bench(args) -> int:
+    from repro.acfg.graph import from_sample
+    from repro.serve import DaemonConfig
+    from repro.serve.loadgen import run_slo_benchmark
+
+    artifacts, engine = _build_engine(args.samples, args.explainer)
+    graphs = [from_sample(sample) for sample in artifacts.corpus]
+    report = run_slo_benchmark(
+        engine,
+        graphs,
+        levels=tuple(args.levels),
+        requests_per_client=args.requests_per_client,
+        daemon_config=DaemonConfig(cache_capacity=args.cache_capacity),
+    )
+    path = Path(args.out) if args.out else _bench_path("BENCH_serving.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[serve] wrote {path}")
+    for level, numbers in report["serving"].items():
+        print(
+            f"  {level:<16} p50 {numbers['latency_p50_ms']:8.1f} ms   "
+            f"p99 {numbers['latency_p99_ms']:8.1f} ms   "
+            f"{numbers['graphs_per_sec']:6.2f} graphs/s   "
+            f"{numbers['cache_hits']} cache hits"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run the explanation-serving daemon (demo) or its "
+        "SLO benchmark.",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=2,
+        help="graphs per family for the tiny backing pipeline",
+    )
+    parser.add_argument(
+        "--explainer", default="CFGExplainer",
+        help="default explainer served by the engine",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=6,
+        help="demo submissions to serve (before the cached repeat)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    bench = subparsers.add_parser(
+        "bench",
+        help="closed-loop SLO benchmark, writes BENCH_serving.json",
+    )
+    bench.add_argument(
+        "--levels", type=int, nargs="+", default=[1, 2, 4],
+        help="concurrency levels to sweep",
+    )
+    bench.add_argument(
+        "--requests-per-client", type=int, default=12,
+        help="closed-loop requests each client issues",
+    )
+    bench.add_argument(
+        "--cache-capacity", type=int, default=256,
+        help="explanation cache entries (0 disables caching)",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="artifact path (default: BENCH_serving.json in cwd or "
+        "$REPRO_BENCH_DIR)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "bench":
+        return _bench(args)
+    return _demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""Service layer: admission queue, micro-batcher, explanation cache.
+
+:class:`ServeDaemon` is the front door over an
+:class:`~repro.serve.engine.InferenceEngine`.  Division of labor by
+thread:
+
+* **Caller threads** run admission — sanitize → verify → reduce →
+  fingerprint → scale are pure or read-only, so any number of clients
+  may be admitted concurrently — plus the cache lookup, then either
+  return a cached response immediately or enqueue a ticket.
+* **One service thread** drains the bounded queue, coalesces tickets
+  into micro-batches for ``forward_batch`` within a latency budget,
+  explains each request, and fills the cache.  Model execution stays on
+  this single thread because the shared A-hat/embedding caches mutate
+  plain ``OrderedDict``s.
+
+Rejections are typed (:class:`~repro.serve.engine.RequestRejected`):
+``backpressure`` when the bounded queue is full, ``oversize`` /
+``quarantine`` from the ingestion gate.  Every decision increments a
+``serve.*`` counter in the process-wide metrics registry.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from repro.acfg import ACFG
+from repro.malgen.corpus import LabeledSample
+from repro.obs import add_counter
+from repro.serve.engine import (
+    EngineResponse,
+    InferenceEngine,
+    PreparedRequest,
+    RequestRejected,
+    _bare_sample,
+    submission_from_text,
+)
+
+__all__ = ["DaemonConfig", "ExplanationCache", "ServeDaemon"]
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Service knobs: queue bound, batching budget, cache capacity."""
+
+    #: Admission queue bound; a submission arriving when this many
+    #: tickets are already waiting is rejected with ``backpressure``.
+    max_queue_depth: int = 64
+    #: Micro-batch size cap: the batcher flushes as soon as this many
+    #: tickets are in hand, budget or not.
+    max_batch: int = 8
+    #: Latency budget: after the first ticket of a batch arrives, the
+    #: batcher waits at most this long for more before flushing.
+    batch_window_ms: float = 5.0
+    #: Explanation cache capacity in entries (LRU eviction); 0 disables
+    #: caching.
+    cache_capacity: int = 256
+
+    def __post_init__(self):
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms cannot be negative")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity cannot be negative")
+
+
+class ExplanationCache:
+    """Content-addressed LRU of :class:`EngineResponse` by fingerprint.
+
+    Thread-safe: caller threads look up while the service thread
+    inserts.  A hit is returned as a ``cached=True`` copy of the stored
+    response — the stored arrays are shared, not copied, so a cached
+    response is bit-identical to the cold-path one.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, EngineResponse]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[str]:
+        """Fingerprints, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, fingerprint: str) -> EngineResponse | None:
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            response = self._entries.get(fingerprint)
+            if response is None:
+                add_counter("serve.cache.miss")
+                return None
+            self._entries.move_to_end(fingerprint)
+            add_counter("serve.cache.hit")
+            return replace(response, cached=True)
+
+    def put(self, response: EngineResponse) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[response.fingerprint] = replace(response, cached=False)
+            self._entries.move_to_end(response.fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                add_counter("serve.cache.evicted")
+
+
+class _Ticket:
+    """One enqueued request: the prepared work plus its rendezvous."""
+
+    __slots__ = ("request", "explainer", "done", "response", "error")
+
+    def __init__(self, request: PreparedRequest, explainer: str | None):
+        self.request = request
+        self.explainer = explainer
+        self.done = threading.Event()
+        self.response: EngineResponse | None = None
+        self.error: BaseException | None = None
+
+
+_SHUTDOWN = object()
+
+
+class ServeDaemon:
+    """Long-running serving front door over one engine.
+
+    Use as a context manager (``with ServeDaemon(engine) as daemon:``)
+    or call :meth:`start`/:meth:`stop` explicitly.  :meth:`submit`
+    blocks the calling thread until its response is ready, so driving
+    the daemon concurrently means one caller thread per in-flight
+    request — exactly what :mod:`repro.serve.loadgen` does.  ``stop``
+    drains already-admitted tickets before the service thread exits; it
+    must not race new submissions.
+    """
+
+    def __init__(self, engine: InferenceEngine, config: DaemonConfig | None = None):
+        self.engine = engine
+        self.config = config or DaemonConfig()
+        self.cache = ExplanationCache(self.config.cache_capacity)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_queue_depth)
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServeDaemon":
+        if self._thread is not None:
+            raise RuntimeError("daemon already started")
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._queue.put(_SHUTDOWN)  # blocking put: shutdown waits its turn
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # client API (any thread)
+    # ------------------------------------------------------------------
+    def submit(
+        self, sample: LabeledSample, explainer: str | None = None
+    ) -> EngineResponse:
+        """Serve one submission; blocks until its response is ready.
+
+        Raises :class:`RequestRejected` (``quarantine`` / ``oversize``
+        from admission, ``backpressure`` when the queue is full) or
+        re-raises whatever the request's execution raised.
+        """
+        return self._serve(self.engine.admit(sample), explainer)
+
+    def submit_text(
+        self, text: str, name: str = "submission", explainer: str | None = None
+    ) -> EngineResponse:
+        return self.submit(submission_from_text(text, name=name), explainer=explainer)
+
+    def submit_graph(self, graph: ACFG, name: str | None = None) -> EngineResponse:
+        """Serve a bare (unscaled, unreduced) ACFG with no CFG attached."""
+        return self._serve(
+            self.engine.admit(_bare_sample(graph, name), graph=graph), None
+        )
+
+    def _serve(
+        self, request: PreparedRequest, explainer: str | None
+    ) -> EngineResponse:
+        if self._thread is None:
+            raise RuntimeError("daemon not started")
+        add_counter("serve.submitted")
+        # Only default-explainer responses are cached, so a request for
+        # a specific other explainer never consults the cache.
+        use_cache = explainer in (None, self.engine.default_explainer)
+        if use_cache:
+            cached = self.cache.get(request.fingerprint)
+            if cached is not None:
+                return cached
+        ticket = _Ticket(request, explainer)
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            add_counter("serve.rejected.backpressure")
+            raise RequestRejected(
+                "backpressure",
+                f"admission queue full ({self.config.max_queue_depth} waiting)",
+            ) from None
+        ticket.done.wait()
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket.response
+
+    # ------------------------------------------------------------------
+    # service thread
+    # ------------------------------------------------------------------
+    def _collect_batch(self, first: _Ticket) -> tuple[list[_Ticket], bool]:
+        """Coalesce tickets until ``max_batch`` or the latency budget.
+
+        Returns ``(batch, saw_shutdown)``; the sentinel is consumed
+        here (never re-enqueued — a blocking re-put could deadlock
+        against a full queue) and reported via the flag.
+        """
+        batch = [first]
+        deadline = time.monotonic() + self.config.batch_window_ms / 1000.0
+        while len(batch) < self.config.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                add_counter("serve.batch.flush_on_budget")
+                return batch, False
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                add_counter("serve.batch.flush_on_budget")
+                return batch, False
+            if item is _SHUTDOWN:
+                add_counter("serve.batch.flush_on_budget")
+                return batch, True
+            batch.append(item)
+        add_counter("serve.batch.flush_on_size")
+        return batch, False
+
+    def _execute_batch(self, batch: list[_Ticket]) -> None:
+        add_counter("serve.batch.count")
+        add_counter("serve.batch.tickets", len(batch))
+        try:
+            probabilities = self.engine.classify([t.request for t in batch])
+        except BaseException as error:  # poisoned batch: fail its tickets
+            for ticket in batch:
+                ticket.error = error
+                ticket.done.set()
+            return
+        for ticket, probs in zip(batch, probabilities):
+            try:
+                response = self.engine.execute(
+                    ticket.request, probabilities=probs, explainer=ticket.explainer
+                )
+            except BaseException as error:
+                ticket.error = error
+            else:
+                if ticket.explainer in (None, self.engine.default_explainer):
+                    self.cache.put(response)
+                ticket.response = response
+            ticket.done.set()
+
+    def _serve_loop(self) -> None:
+        draining = False
+        while True:
+            if draining and self._queue.empty():
+                return
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                draining = True
+                continue
+            batch, saw_shutdown = self._collect_batch(item)
+            draining = draining or saw_shutdown
+            self._execute_batch(batch)

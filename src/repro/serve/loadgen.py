@@ -1,0 +1,163 @@
+"""Benchmark layer: closed-loop deterministic load generation.
+
+Drives a :class:`~repro.serve.daemon.ServeDaemon` in-process with ``c``
+closed-loop clients (each submits, waits for the response, submits
+again) and measures per-request wall latency.  The request *sequence*
+is deterministic — client ``k``'s ``i``-th submission is graph
+``(k + i * stride) % len(graphs)`` — so two runs at the same
+concurrency level issue exactly the same multiset of requests; only the
+thread interleaving (and therefore the latencies) varies.
+
+:func:`run_slo_benchmark` sweeps several concurrency levels and shapes
+the result for ``BENCH_serving.json``: per-level ``latency_p50_ms`` /
+``latency_p99_ms`` / ``graphs_per_sec``, the metrics gated by
+``repro-bench-compare``'s latency (lower-is-better) and throughput
+(higher-is-better) policies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.daemon import DaemonConfig, ServeDaemon
+from repro.serve.engine import InferenceEngine, RequestRejected
+
+__all__ = ["LoadResult", "run_closed_loop", "run_slo_benchmark"]
+
+
+@dataclass
+class LoadResult:
+    """One concurrency level's measurements."""
+
+    concurrency: int
+    requests: int
+    rejected: int
+    cache_hits: int
+    wall_seconds: float
+    latencies_ms: list[float] = field(default_factory=list)
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    @property
+    def graphs_per_sec(self) -> float:
+        completed = len(self.latencies_ms)
+        return completed / self.wall_seconds if self.wall_seconds > 0 else float("nan")
+
+    def to_dict(self) -> dict:
+        return {
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "completed": len(self.latencies_ms),
+            "rejected": self.rejected,
+            "cache_hits": self.cache_hits,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "latency_p50_ms": round(self.percentile_ms(50), 3),
+            "latency_p99_ms": round(self.percentile_ms(99), 3),
+            "graphs_per_sec": round(self.graphs_per_sec, 2),
+        }
+
+
+def run_closed_loop(
+    daemon: ServeDaemon,
+    graphs,
+    concurrency: int,
+    requests_per_client: int,
+    stride: int = 3,
+) -> LoadResult:
+    """``concurrency`` closed-loop clients, fixed deterministic schedule.
+
+    ``graphs`` are bare ACFGs (unscaled, unreduced) submitted through
+    :meth:`ServeDaemon.submit_graph`.  Backpressure rejections are
+    counted, not fatal — a closed-loop client retries its request once
+    admission frees up, which is what a well-behaved client does.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("need at least one graph to submit")
+    barrier = threading.Barrier(concurrency + 1)
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    rejected = [0] * concurrency
+    hits = [0] * concurrency
+
+    def client(index: int) -> None:
+        barrier.wait()
+        for i in range(requests_per_client):
+            graph = graphs[(index + i * stride) % len(graphs)]
+            start = time.perf_counter()
+            while True:
+                try:
+                    response = daemon.submit_graph(graph)
+                except RequestRejected as rejection:
+                    if rejection.reason != "backpressure":
+                        raise
+                    rejected[index] += 1
+                    time.sleep(0.001)
+                    continue
+                break
+            latencies[index].append((time.perf_counter() - start) * 1000.0)
+            if response.cached:
+                hits[index] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(k,), name=f"loadgen-{k}")
+        for k in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return LoadResult(
+        concurrency=concurrency,
+        requests=concurrency * requests_per_client,
+        rejected=sum(rejected),
+        cache_hits=sum(hits),
+        wall_seconds=wall,
+        latencies_ms=[value for per_client in latencies for value in per_client],
+    )
+
+
+def run_slo_benchmark(
+    engine: InferenceEngine,
+    graphs,
+    levels: tuple[int, ...] = (1, 2, 4),
+    requests_per_client: int = 12,
+    daemon_config: DaemonConfig | None = None,
+) -> dict:
+    """Sweep concurrency levels; one fresh daemon (and cold cache) each.
+
+    Returns the ``BENCH_serving.json`` payload: a ``serving`` section
+    keyed ``concurrency_<c>`` with p50/p99 latency and sustained
+    graphs/sec, plus the workload description.
+    """
+    graphs = list(graphs)
+    results: dict[str, dict] = {}
+    for level in levels:
+        daemon = ServeDaemon(engine, daemon_config or DaemonConfig())
+        with daemon:
+            result = run_closed_loop(
+                daemon, graphs, concurrency=level,
+                requests_per_client=requests_per_client,
+            )
+        results[f"concurrency_{level}"] = result.to_dict()
+    return {
+        "workload": {
+            "unique_graphs": len(graphs),
+            "nodes_per_graph": int(max(g.n_real for g in graphs)),
+            "requests_per_client": requests_per_client,
+            "levels": list(levels),
+            "explainer": engine.default_explainer,
+        },
+        "serving": results,
+    }

@@ -78,6 +78,11 @@ class MetricPolicy:
 
 
 DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
+    # Serving throughput is measured over sub-second closed loops, so
+    # run-to-run spread is much wider than the training benches'; the
+    # first matching policy wins, so this looser gate must precede the
+    # generic *graphs_per_sec one.
+    MetricPolicy("serving.*.graphs_per_sec", "higher", 0.60),
     MetricPolicy("*graphs_per_sec", "higher", 0.30),
     MetricPolicy("*speedup", "higher", 0.30),
     # Stability metrics are bounded in [0, 1]: gate on absolute drops.
@@ -87,6 +92,11 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     # the accuracy cost of reducing is bounded absolutely.
     MetricPolicy("*compression", "higher", 0.30),
     MetricPolicy("*accuracy_drop", "lower", 0.25, mode="absolute"),
+    # Serving SLOs are lower-is-better latencies.  CI wall clocks are
+    # noisy, so p50 tolerates a 2x move and the tail p99 a 3x move
+    # before the gate trips; throughput rides the *graphs_per_sec gate.
+    MetricPolicy("*_p50_ms", "lower", 1.00),
+    MetricPolicy("*_p99_ms", "lower", 2.00),
 )
 
 
@@ -251,7 +261,8 @@ def main(argv: list[str] | None = None) -> int:
             print("error: --threshold must be positive", file=sys.stderr)
             return 2
         policies = tuple(
-            MetricPolicy(p.pattern, p.direction, args.threshold) for p in policies
+            MetricPolicy(p.pattern, p.direction, args.threshold, p.mode)
+            for p in policies
         )
 
     try:

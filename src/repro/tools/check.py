@@ -34,6 +34,10 @@ in order and the exit code is non-zero if any of them fails:
    directly — nodes never increase, merged features stay finite,
    importance mass is conserved through the lift map, and the default
    config is idempotent.
+9. With ``--serve``, a serving smoke test: a tiny trained pipeline is
+   wrapped in the :mod:`repro.serve` daemon (in process), one cold
+   request and one repeat are served, and the repeat must be a cache
+   hit bit-identical to the cold response.
 """
 
 from __future__ import annotations
@@ -282,6 +286,54 @@ def _run_reduce_smoke(samples: int = 3, seed: int = 0) -> bool:
     return ok
 
 
+def _run_serve_smoke() -> bool:
+    """Serve one cold and one cached request through the daemon."""
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.eval.pipeline import run_pipeline
+    from repro.eval.profile import PROFILE_CONFIG
+    from repro.serve import DaemonConfig, ServeDaemon
+
+    config = replace(
+        PROFILE_CONFIG,
+        samples_per_family=2,
+        gnn_epochs=8,
+        explainer_epochs=10,
+        gnnexplainer_epochs=3,
+        pgexplainer_epochs=2,
+        subgraphx_iterations=4,
+        subgraphx_shapley_samples=1,
+    )
+    artifacts = run_pipeline(config)
+    sample = artifacts.corpus[0]
+    problems: list[str] = []
+    with ServeDaemon(artifacts.engine(), DaemonConfig()) as daemon:
+        cold = daemon.submit(sample)
+        warm = daemon.submit(sample)
+    if cold.cached or not warm.cached:
+        problems.append("repeat submission was not served from the cache")
+    if warm.fingerprint != cold.fingerprint:
+        problems.append("fingerprint changed between identical submissions")
+    if not (
+        np.array_equal(warm.probabilities, cold.probabilities)
+        and np.array_equal(warm.explanation.node_order, cold.explanation.node_order)
+        and np.array_equal(warm.explanation.node_scores, cold.explanation.node_scores)
+    ):
+        problems.append("cached response not bit-identical to cold response")
+    for problem in problems:
+        print(f"[check]   {problem}")
+    ok = not problems
+    status = "ok" if ok else "FAILED"
+    print(
+        f"[check] serve smoke: cold+cached request for "
+        f"{cold.name!r} (family {cold.family}, "
+        f"fingerprint {cold.fingerprint[:12]}) ({status})"
+    )
+    return ok
+
+
 def _run_fuzz_smoke(iterations: int = 500, seed: int = 0) -> bool:
     """A seeded fuzz campaign must finish with zero unhandled crashes.
 
@@ -358,6 +410,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the static-reduction smoke gate (all passes on a "
         "tiny corpus, invariants checked directly)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also run the serving smoke gate (in-process daemon, one "
+        "cold and one cached request, bit-identical responses)",
+    )
     args = parser.parse_args(argv)
     root = _repo_root()
     results: dict[str, bool | str] = {}
@@ -377,6 +435,8 @@ def main(argv: list[str] | None = None) -> int:
         results["determinism lint"] = _run_determinism_lint(root)
     if args.reduce:
         results["reduce smoke"] = _run_reduce_smoke(samples=3, seed=0)
+    if args.serve:
+        results["serve smoke"] = _run_serve_smoke()
     if args.fuzz:
         results["fuzz smoke"] = _run_fuzz_smoke(iterations=args.fuzz_iterations)
 

@@ -32,6 +32,29 @@ def trained_gnn(small_dataset):
 
 
 @pytest.fixture(scope="session")
+def serve_corpus():
+    """The same corpus ``small_dataset`` was built from, regenerated."""
+    return generate_corpus(6, seed=123)
+
+
+@pytest.fixture(scope="session")
+def serve_engine(serve_corpus, trained_gnn, trained_theta):
+    """A serving engine over the session's trained model artifacts."""
+    from repro.core import CFGExplainer
+    from repro.serve import InferenceEngine
+
+    dataset = ACFGDataset.from_corpus(serve_corpus)
+    train, _ = train_test_split(dataset, test_fraction=0.25, seed=0)
+    scaler = FeatureScaler().fit(list(train))
+    return InferenceEngine(
+        gnn=trained_gnn,
+        scaler=scaler,
+        explainers={"CFGExplainer": CFGExplainer(trained_gnn, trained_theta)},
+        families=dataset.families,
+    )
+
+
+@pytest.fixture(scope="session")
 def trained_theta(small_dataset, trained_gnn):
     train_set, _ = small_dataset
     theta = CFGExplainerModel(

@@ -1,0 +1,175 @@
+"""Content-addressed graph fingerprints (repro.obs.fingerprint_graph).
+
+The serving cache keys explanations by this hash, so the properties
+under test are exactly the cache-correctness properties: invariance
+under node relabeling and padding, sensitivity to any content change,
+and byte-for-byte determinism across processes.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.acfg import ACFG, from_sample
+from repro.disasm import build_cfg, parse_program
+from repro.malgen import generate_corpus
+from repro.obs import fingerprint_graph
+
+
+def _toy_acfg(seed: int = 0, n: int = 7) -> ACFG:
+    rng = np.random.default_rng(seed)
+    adjacency = np.zeros((n, n))
+    for i in range(n - 1):
+        adjacency[i, i + 1] = 1.0
+    adjacency[0, n - 1] = 2.0
+    adjacency[n - 2, 1] = 2.0
+    features = rng.integers(0, 20, size=(n, 12)).astype(float)
+    return ACFG(adjacency=adjacency, features=features, label=0, family="toy")
+
+
+def _permuted(graph: ACFG, permutation: np.ndarray) -> ACFG:
+    adjacency = graph.adjacency[np.ix_(permutation, permutation)]
+    features = graph.features[permutation]
+    return ACFG(
+        adjacency=adjacency, features=features, label=graph.label, family=graph.family
+    )
+
+
+def test_deterministic_within_process():
+    graph = _toy_acfg()
+    assert fingerprint_graph(graph) == fingerprint_graph(graph)
+
+
+def test_permutation_invariant():
+    graph = _toy_acfg()
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        permutation = rng.permutation(graph.n)
+        assert fingerprint_graph(_permuted(graph, permutation)) == fingerprint_graph(
+            graph
+        )
+
+
+def test_padding_invariant():
+    graph = _toy_acfg()
+    assert fingerprint_graph(graph.padded(graph.n + 13)) == fingerprint_graph(graph)
+
+
+def test_feature_edit_changes_fingerprint():
+    graph = _toy_acfg()
+    edited = _toy_acfg()
+    edited.features[3, 5] += 1.0
+    assert fingerprint_graph(edited) != fingerprint_graph(graph)
+
+
+def test_edge_edit_changes_fingerprint():
+    graph = _toy_acfg()
+    added = _toy_acfg()
+    added.adjacency[2, 5] = 1.0
+    assert fingerprint_graph(added) != fingerprint_graph(graph)
+
+    retyped = _toy_acfg()
+    retyped.adjacency[0, 1] = 2.0  # unconditional → conditional branch
+    assert fingerprint_graph(retyped) != fingerprint_graph(graph)
+
+
+def test_non_isomorphic_relabel_changes_fingerprint():
+    # Swapping two nodes' features WITHOUT swapping their adjacency rows
+    # is a relabel that breaks isomorphism; the hash must notice.
+    graph = _toy_acfg()
+    broken = _toy_acfg()
+    broken.features[[0, 4]] = broken.features[[4, 0]]
+    assert fingerprint_graph(broken) != fingerprint_graph(graph)
+
+
+def test_negative_zero_canonicalized():
+    graph = _toy_acfg()
+    signed = _toy_acfg()
+    signed.features[0, 0] = 0.0
+    graph.features[0, 0] = -0.0
+    assert fingerprint_graph(signed) == fingerprint_graph(graph)
+
+
+def test_structure_matters_beyond_features():
+    # Same feature multiset, different wiring.
+    chain = _toy_acfg()
+    rewired = _toy_acfg()
+    rewired.adjacency = np.zeros_like(chain.adjacency)
+    for i in range(rewired.n - 1):
+        rewired.adjacency[rewired.n - 1 - i, rewired.n - 2 - i] = 1.0
+    assert fingerprint_graph(rewired) != fingerprint_graph(chain)
+
+
+def test_corpus_fingerprints_unique():
+    corpus = generate_corpus(2, seed=11)
+    prints = {fingerprint_graph(from_sample(sample)) for sample in corpus}
+    assert len(prints) == len(corpus)
+
+
+def test_real_submission_roundtrip():
+    text = """
+    start:
+        mov r1, 4
+        cmp r1, 0
+        jnz body
+    body:
+        add r1, r1
+        jmp done
+    done:
+        ret
+    """
+    program = parse_program(textwrap.dedent(text), name="fp-demo")
+    graph = from_sample_like(program)
+    again = from_sample_like(program)
+    assert fingerprint_graph(graph) == fingerprint_graph(again)
+
+
+def from_sample_like(program):
+    from repro.malgen.corpus import LabeledSample, block_motif_tags
+
+    cfg = build_cfg(program)
+    sample = LabeledSample(
+        program=program,
+        cfg=cfg,
+        family="unknown",
+        label=0,
+        motif_spans=[],
+        block_tags=block_motif_tags(cfg, []),
+    )
+    return from_sample(sample)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_deterministic_across_processes(seed, tmp_path: Path):
+    script = textwrap.dedent(
+        f"""
+        import numpy as np
+        from repro.acfg import ACFG
+        from repro.obs import fingerprint_graph
+
+        rng = np.random.default_rng({seed})
+        n = 7
+        adjacency = np.zeros((n, n))
+        for i in range(n - 1):
+            adjacency[i, i + 1] = 1.0
+        adjacency[0, n - 1] = 2.0
+        adjacency[n - 2, 1] = 2.0
+        features = rng.integers(0, 20, size=(n, 12)).astype(float)
+        graph = ACFG(adjacency=adjacency, features=features, label=0, family="toy")
+        print(fingerprint_graph(graph))
+        """
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "random"},
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == fingerprint_graph(_toy_acfg(seed=seed))

@@ -248,6 +248,79 @@ def test_compare_threshold_boundary():
     assert by_path["training.batched.graphs_per_sec"].status == "regressed"
 
 
+SERVING_BASELINE = {
+    "serving": {
+        "concurrency_4": {
+            "latency_p50_ms": 40.0,
+            "latency_p99_ms": 90.0,
+            "graphs_per_sec": 25.0,
+        }
+    }
+}
+
+
+def test_latency_policies_are_lower_is_better():
+    current = json.loads(json.dumps(SERVING_BASELINE))
+    # 2.5x p50 (past the 2x gate), p99 halved (an improvement).
+    current["serving"]["concurrency_4"]["latency_p50_ms"] = 100.0
+    current["serving"]["concurrency_4"]["latency_p99_ms"] = 45.0
+    deltas = compare_benchmarks(SERVING_BASELINE, current)
+    by_path = {d.path: d for d in deltas}
+    assert by_path["serving.concurrency_4.latency_p50_ms"].status == "regressed"
+    assert by_path["serving.concurrency_4.latency_p99_ms"].status == "ok"
+    # Serving throughput rides the existing higher-is-better gate.
+    assert by_path["serving.concurrency_4.graphs_per_sec"].status == "ok"
+
+
+def test_latency_policy_thresholds_p50_vs_p99():
+    # The tail gate is looser: a uniform 2.5x slowdown trips p50
+    # (tolerance 2x) but not p99 (tolerance 3x).
+    current = json.loads(json.dumps(SERVING_BASELINE))
+    current["serving"]["concurrency_4"]["latency_p50_ms"] = 40.0 * 2.5
+    current["serving"]["concurrency_4"]["latency_p99_ms"] = 90.0 * 2.5
+    deltas = compare_benchmarks(SERVING_BASELINE, current)
+    by_path = {d.path: d for d in deltas}
+    assert by_path["serving.concurrency_4.latency_p50_ms"].status == "regressed"
+    assert by_path["serving.concurrency_4.latency_p99_ms"].status == "ok"
+
+
+def test_latency_regression_fails_directory_gate(tmp_path):
+    baselines = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    baselines.mkdir()
+    current_dir.mkdir()
+    (baselines / "BENCH_serving.json").write_text(json.dumps(SERVING_BASELINE))
+    slow = json.loads(json.dumps(SERVING_BASELINE))
+    slow["serving"]["concurrency_4"]["latency_p99_ms"] = 900.0
+    (current_dir / "BENCH_serving.json").write_text(json.dumps(slow))
+    deltas, ok = compare_directories(baselines, current_dir)
+    assert not ok
+    assert any(
+        d.path.endswith("latency_p99_ms") and d.status == "regressed"
+        for d in deltas
+    )
+
+
+def test_threshold_override_preserves_mode(tmp_path):
+    """--threshold replaces every gate's number but not its mode: an
+    absolute-mode policy (*.jaccard) must stay absolute, or a small
+    bounded-metric drop would read as a huge relative one."""
+    from repro.tools.bench_compare import main as bench_main
+
+    baselines = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    baselines.mkdir()
+    current_dir.mkdir()
+    (baselines / "BENCH_s.json").write_text(json.dumps({"s": {"jaccard": 0.5}}))
+    # Drop of 0.2: fine absolutely (< 0.25) but -40% relatively.
+    (current_dir / "BENCH_s.json").write_text(json.dumps({"s": {"jaccard": 0.3}}))
+    code = bench_main(
+        ["--baselines", str(baselines), "--current", str(current_dir),
+         "--threshold", "0.25"]
+    )
+    assert code == 0
+
+
 def test_compare_directories_pass_fail_missing(tmp_path):
     baselines = tmp_path / "baselines"
     current = tmp_path / "current"
