@@ -10,9 +10,15 @@ numbers against ``benchmarks/baselines/``).
 Unlike the experiment benches this module builds its own small corpus —
 it does not depend on the session pipeline fixture, so it stays fast
 enough for the tier-1-adjacent smoke set.
+
+``$REPRO_BENCH_PROFILE`` selects the workload scale: ``default`` (the
+nightly lane, gated against ``BENCH_batching.json``) or ``quick`` (the
+PR-time lane — a smaller corpus and fewer epochs, writing
+``BENCH_quick.json`` so the two lanes keep independent baselines).
 """
 
 import json
+import os
 import time
 
 import numpy as np
@@ -23,12 +29,39 @@ from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
 from repro.gnn import GCNClassifier, evaluate_accuracy, train_gnn
 from repro.malgen import generate_corpus
 
-ARTIFACT_NAME = "BENCH_batching.json"
+PROFILES = {
+    "default": {
+        "artifact": "BENCH_batching.json",
+        "samples_per_family": 6,
+        "size_multiplier": 4,  # ~700-node graphs: the dense O(N²) regime
+        "epochs": 12,
+        "batch_size": 16,
+        "min_speedup": 3.0,
+    },
+    "quick": {
+        "artifact": "BENCH_quick.json",
+        "samples_per_family": 4,
+        "size_multiplier": 2,  # ~350-node graphs: small but not toy
+        "epochs": 6,
+        "batch_size": 8,
+        "min_speedup": 2.0,
+    },
+}
 
-SAMPLES_PER_FAMILY = 6
-SIZE_MULTIPLIER = 4  # ~700-node graphs: the dense path's O(N²) regime
-EPOCHS = 12
-BATCH_SIZE = 16
+_PROFILE_NAME = os.environ.get("REPRO_BENCH_PROFILE", "default")
+if _PROFILE_NAME not in PROFILES:
+    raise KeyError(
+        f"REPRO_BENCH_PROFILE={_PROFILE_NAME!r}: choose from {sorted(PROFILES)}"
+    )
+_PROFILE = PROFILES[_PROFILE_NAME]
+
+ARTIFACT_NAME = _PROFILE["artifact"]
+
+SAMPLES_PER_FAMILY = _PROFILE["samples_per_family"]
+SIZE_MULTIPLIER = _PROFILE["size_multiplier"]
+EPOCHS = _PROFILE["epochs"]
+BATCH_SIZE = _PROFILE["batch_size"]
+MIN_SPEEDUP = _PROFILE["min_speedup"]
 
 
 @pytest.fixture(scope="module")
@@ -88,6 +121,7 @@ def test_bench_batched_vs_per_graph(splits):
     graphs_trained = len(train_set) * EPOCHS
     report = {
         "corpus": {
+            "profile": _PROFILE_NAME,
             "size_multiplier": SIZE_MULTIPLIER,
             "nodes_per_graph": int(train_set[0].n),
             "train_graphs": len(train_set),
@@ -135,5 +169,6 @@ def test_bench_batched_vs_per_graph(splits):
         f"  ({report['inference']['speedup']}x)"
     )
 
-    # Acceptance criterion: the batched engine trains >= 3x faster.
-    assert report["training"]["speedup"] >= 3.0, report["training"]
+    # Acceptance criterion: the batched engine trains >= MIN_SPEEDUP
+    # faster (3x on the default lane, 2x on the smaller quick lane).
+    assert report["training"]["speedup"] >= MIN_SPEEDUP, report["training"]

@@ -8,6 +8,7 @@ does for its GCN (Section V-A).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -15,7 +16,23 @@ import numpy as np
 from repro.acfg.features import NUM_FEATURES, cfg_feature_matrix
 from repro.malgen.corpus import LabeledSample
 
-__all__ = ["ACFG", "from_sample"]
+__all__ = ["ACFG", "content_digest", "from_sample"]
+
+
+def content_digest(*arrays: np.ndarray) -> bytes:
+    """SHA1 over the shapes and bytes of ``arrays``.
+
+    The canonical content key used by every cache that must survive
+    in-place buffer mutation (:class:`repro.gnn.cache.AHatCache`,
+    :class:`repro.gnn.cache.EmbeddingCache`): equal digests ⇔ equal
+    shape and equal bytes, regardless of which objects hold them.
+    """
+    hasher = hashlib.sha1()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.digest()
 
 
 @dataclass
@@ -34,6 +51,14 @@ class ACFG:
     name: str = "acfg"
     n_real: int | None = None
     block_tags: tuple[frozenset[str], ...] = field(default_factory=tuple)
+    # Lazily cached content digests (see content_key / embed_key).
+    # Excluded from init/repr/eq; dataclasses.replace() resets them.
+    _content_key: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _embed_key: bytes | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         self.adjacency = np.asarray(self.adjacency, dtype=np.float64)
@@ -90,6 +115,36 @@ class ACFG:
         pruned = self.adjacency * keep[:, None]
         pruned = pruned * keep[None, :]
         return pruned
+
+    def content_key(self) -> bytes:
+        """Digest of (adjacency, active-node mask) — the Â cache key.
+
+        Byte-identical to what :class:`repro.gnn.cache.AHatCache`
+        derives from the raw arrays, so graph-keyed and array-keyed
+        lookups share entries.  Cached after the first call; anything
+        that mutates ``adjacency``/``features``/``n_real`` in place
+        (e.g. the structured fuzzer) must call
+        :meth:`invalidate_content_keys`.
+        """
+        if self._content_key is None:
+            mask = np.zeros(self.n, dtype=bool)
+            mask[: self.n_real] = True
+            self._content_key = content_digest(self.adjacency, mask)
+        return self._content_key
+
+    def embed_key(self) -> bytes:
+        """Digest of (adjacency, features, n_real) — the frozen-forward
+        (:class:`repro.gnn.cache.EmbeddingCache`) key; lazily cached."""
+        if self._embed_key is None:
+            self._embed_key = content_digest(
+                self.adjacency, self.features, np.asarray([self.n_real])
+            )
+        return self._embed_key
+
+    def invalidate_content_keys(self) -> None:
+        """Drop cached digests after an in-place payload mutation."""
+        self._content_key = None
+        self._embed_key = None
 
     def masked_features(self, kept_nodes: np.ndarray) -> np.ndarray:
         """Features with rows outside ``kept_nodes`` zeroed (like padding)."""

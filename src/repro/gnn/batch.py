@@ -5,10 +5,14 @@
 * ``a_hat`` — the per-graph normalized adjacencies Â stacked into one
   block-diagonal CSR matrix.  Messages cannot cross blocks, so one
   sparse matmul over the batch equals per-graph dense matmuls exactly.
-* ``features`` — node features stacked row-wise, ``[total_nodes, d]``.
+* ``features`` — node features stacked row-wise, ``[total_nodes, d]``,
+  in the process compute dtype (:mod:`repro.nn.dtype`).
 * ``segment_ids`` — the graph index of every stacked row, which turns
   per-graph pooling into segment reductions (:func:`repro.nn.segment_sum`
   / :func:`repro.nn.segment_max`).
+* ``workspace`` — an optional :class:`~repro.nn.backend.KernelWorkspace`
+  the batched forward/backward kernels write their large intermediates
+  into, so repeated steps reuse buffers instead of reallocating.
 
 Padded rows are packed along with real ones (zero features, no edges,
 ``active_mask`` False) so the batched path reproduces the per-graph
@@ -18,31 +22,38 @@ divide-by-padded-size convention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.acfg.graph import ACFG
 from repro.gnn.cache import AHatCache
+from repro.nn.backend import KernelWorkspace
+from repro.nn.dtype import get_compute_dtype
 from repro.nn.sparse import CSRMatrix
 
 __all__ = ["BatchPacker", "GraphBatch", "iter_batches"]
 
 
 def _graph_block(
-    graph: ACFG, a_hat_cache: AHatCache | None
+    graph: ACFG, a_hat_cache: AHatCache | None, dtype=None
 ) -> tuple[CSRMatrix, np.ndarray]:
     """One graph's CSR Â block and active-node mask."""
     if graph.n == 0:
         raise ValueError(f"graph {graph.name!r} has no nodes")
+    dtype = get_compute_dtype() if dtype is None else dtype
     mask = np.zeros(graph.n, dtype=bool)
     mask[: graph.n_real] = True
     if a_hat_cache is not None:
-        return a_hat_cache.get_csr(graph.adjacency, mask), mask
-    from repro.gnn.normalize import normalized_adjacency
+        key = graph.content_key() if isinstance(graph, ACFG) else None
+        return a_hat_cache.get_csr(graph.adjacency, mask, dtype=dtype, key=key), mask
+    from repro.gnn.normalize import normalized_adjacency_csr
 
-    return CSRMatrix.from_dense(normalized_adjacency(graph.adjacency, mask)), mask
+    return (
+        CSRMatrix(normalized_adjacency_csr(graph.adjacency, mask), dtype=dtype),
+        mask,
+    )
 
 
 @dataclass(frozen=True)
@@ -57,6 +68,7 @@ class GraphBatch:
     sizes: np.ndarray  # [B] padded node count per graph
     offsets: np.ndarray  # [B + 1] row ranges: graph i owns offsets[i]:offsets[i+1]
     graphs: tuple[ACFG, ...]  # the packed graphs, in batch order
+    workspace: KernelWorkspace | None = field(default=None, compare=False)
 
     @property
     def num_graphs(self) -> int:
@@ -65,6 +77,12 @@ class GraphBatch:
     @property
     def total_nodes(self) -> int:
         return int(self.offsets[-1])
+
+    @property
+    def mask_column(self) -> np.ndarray:
+        """``active_mask`` as a ``[total, 1]`` 0/1 column in the feature
+        dtype — the constant the fused GCN layers multiply by."""
+        return self.active_mask.astype(self.features.dtype).reshape(-1, 1)
 
     def rows_of(self, index: int) -> slice:
         """Row range of graph ``index`` inside the stacked arrays."""
@@ -75,6 +93,7 @@ class GraphBatch:
         cls,
         graphs: Sequence[ACFG],
         a_hat_cache: AHatCache | None = None,
+        workspace: KernelWorkspace | None = None,
     ) -> "GraphBatch":
         """Pack ``graphs`` (any mix of sizes) into one batch.
 
@@ -84,10 +103,15 @@ class GraphBatch:
         """
         if not graphs:
             raise ValueError("cannot batch zero graphs")
-        pairs = [_graph_block(graph, a_hat_cache) for graph in graphs]
-        features = [np.asarray(g.features, dtype=np.float64) for g in graphs]
+        dtype = get_compute_dtype()
+        pairs = [_graph_block(graph, a_hat_cache, dtype) for graph in graphs]
+        features = [np.asarray(g.features, dtype=dtype) for g in graphs]
         return cls._assemble(
-            tuple(graphs), [b for b, _ in pairs], [m for _, m in pairs], features
+            tuple(graphs),
+            [b for b, _ in pairs],
+            [m for _, m in pairs],
+            features,
+            workspace,
         )
 
     @classmethod
@@ -97,6 +121,7 @@ class GraphBatch:
         blocks: list[CSRMatrix],
         masks: list[np.ndarray],
         features: list[np.ndarray],
+        workspace: KernelWorkspace | None = None,
     ) -> "GraphBatch":
         sizes = np.array([g.n for g in graphs], dtype=np.intp)
         offsets = np.zeros(len(graphs) + 1, dtype=np.intp)
@@ -110,6 +135,7 @@ class GraphBatch:
             sizes=sizes,
             offsets=offsets,
             graphs=tuple(graphs),
+            workspace=workspace,
         )
 
 
@@ -120,21 +146,26 @@ class BatchPacker:
     normalization) per graph per batch, which a multi-epoch training
     loop repeats every epoch.  The packer resolves each graph's CSR Â,
     mask and float features exactly once at construction; per-epoch
-    batch assembly is then only block-diagonal stacking.  Use it when
-    the same graph list is batched many times (training); one-shot
-    passes (evaluation, cache population) can keep :func:`iter_batches`.
+    batch assembly is then only block-diagonal stacking.  It also owns
+    the :class:`~repro.nn.backend.KernelWorkspace` every batch it
+    yields shares, so all epochs reuse one set of kernel buffers.  Use
+    it when the same graph list is batched many times (training);
+    one-shot passes (evaluation, cache population) can keep
+    :func:`iter_batches`.
     """
 
     def __init__(
         self, graphs: "Iterable[ACFG]", a_hat_cache: AHatCache | None = None
     ):
         self.graphs = list(graphs)
-        pairs = [_graph_block(graph, a_hat_cache) for graph in self.graphs]
+        dtype = get_compute_dtype()
+        pairs = [_graph_block(graph, a_hat_cache, dtype) for graph in self.graphs]
         self._blocks = [block for block, _ in pairs]
         self._masks = [mask for _, mask in pairs]
         self._features = [
-            np.asarray(g.features, dtype=np.float64) for g in self.graphs
+            np.asarray(g.features, dtype=dtype) for g in self.graphs
         ]
+        self.workspace = KernelWorkspace()
 
     def __len__(self) -> int:
         return len(self.graphs)
@@ -155,6 +186,7 @@ class BatchPacker:
                 [self._blocks[i] for i in chunk],
                 [self._masks[i] for i in chunk],
                 [self._features[i] for i in chunk],
+                self.workspace,
             )
 
 
@@ -168,14 +200,19 @@ def iter_batches(
 
     ``order`` (a permutation of indices) controls the traversal, so a
     training loop can shuffle per epoch while evaluation keeps the
-    natural order.
+    natural order.  All yielded batches share one
+    :class:`~repro.nn.backend.KernelWorkspace` for the duration of the
+    pass.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     graphs = list(graphs)
+    workspace = KernelWorkspace()
     indices = np.arange(len(graphs)) if order is None else np.asarray(order)
     for start in range(0, len(indices), batch_size):
         chunk = indices[start : start + batch_size]
         yield GraphBatch.from_graphs(
-            [graphs[int(i)] for i in chunk], a_hat_cache=a_hat_cache
+            [graphs[int(i)] for i in chunk],
+            a_hat_cache=a_hat_cache,
+            workspace=workspace,
         )

@@ -17,19 +17,23 @@ Keys are content hashes (array bytes), not object identities:
 Algorithm 2 mutates adjacency buffers in place between forward passes,
 so identity-keyed caching would silently serve stale matrices.  Hashing
 is O(N²) but a small constant compared to normalization or a forward
-pass, and it makes the caches safe for arbitrary callers.
+pass, and it makes the caches safe for arbitrary callers.  Callers
+that hold an :class:`~repro.acfg.graph.ACFG` skip even that constant:
+the graph memoizes its own digests (``ACFG.content_key`` /
+``ACFG.embed_key``) and passes them in, so repeated passes over the
+same graphs hash each one exactly once process-wide.
 """
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.gnn.normalize import normalized_adjacency
+from repro.acfg.graph import content_digest as _digest
+from repro.gnn.normalize import normalized_adjacency_csr
 from repro.nn.sparse import CSRMatrix
 from repro.obs import add_counter
 
@@ -51,21 +55,31 @@ class CacheInfo:
     maxsize: int
 
 
-def _digest(*arrays: np.ndarray) -> bytes:
-    hasher = hashlib.sha1()
-    for array in arrays:
-        array = np.ascontiguousarray(array)
-        hasher.update(str(array.shape).encode())
-        hasher.update(array.tobytes())
-    return hasher.digest()
+_F64 = np.dtype(np.float64).str
 
 
 class _AHatEntry:
-    __slots__ = ("dense", "csr")
+    """One cached Â: CSR canonical, dense and casts derived lazily.
 
-    def __init__(self, dense: np.ndarray):
-        self.dense = dense
-        self.csr: CSRMatrix | None = None
+    Â is *computed* in CSR form (:func:`normalized_adjacency_csr`) —
+    the form the batched engine consumes — and the dense matrix the
+    per-graph/explainer path wants is a cheap ``toarray`` fill from
+    it, so neither representation is ever built twice.
+    """
+
+    __slots__ = ("_dense", "csr")
+
+    def __init__(self, csr: CSRMatrix):
+        #: CSR forms keyed by dtype string — the float64 canonical plus
+        #: any compute-dtype casts the batched engine requested.
+        self.csr: dict[str, CSRMatrix] = {_F64: csr}
+        self._dense: np.ndarray | None = None
+
+    @property
+    def dense(self) -> np.ndarray:
+        if self._dense is None:
+            self._dense = self.csr[_F64].toarray()
+        return self._dense
 
 
 class AHatCache:
@@ -86,15 +100,19 @@ class AHatCache:
         self._entries: OrderedDict[bytes, _AHatEntry] = OrderedDict()
 
     def _entry(
-        self, adjacency: np.ndarray, active_mask: np.ndarray | None
+        self,
+        adjacency: np.ndarray,
+        active_mask: np.ndarray | None,
+        key: bytes | None = None,
     ) -> _AHatEntry:
-        adjacency = np.asarray(adjacency, dtype=np.float64)
-        mask = (
-            np.ones(adjacency.shape[0], dtype=bool)
-            if active_mask is None
-            else np.asarray(active_mask, dtype=bool)
-        )
-        key = _digest(adjacency, mask)
+        if key is None:
+            adjacency = np.asarray(adjacency, dtype=np.float64)
+            mask = (
+                np.ones(adjacency.shape[0], dtype=bool)
+                if active_mask is None
+                else np.asarray(active_mask, dtype=bool)
+            )
+            key = _digest(adjacency, mask)
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
@@ -103,26 +121,49 @@ class AHatCache:
             return entry
         self.misses += 1
         add_counter("cache.a_hat.misses")
-        entry = _AHatEntry(normalized_adjacency(adjacency, mask))
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        mask = (
+            np.ones(adjacency.shape[0], dtype=bool)
+            if active_mask is None
+            else np.asarray(active_mask, dtype=bool)
+        )
+        entry = _AHatEntry(CSRMatrix(normalized_adjacency_csr(adjacency, mask)))
         self._entries[key] = entry
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return entry
 
     def get(
-        self, adjacency: np.ndarray, active_mask: np.ndarray | None = None
+        self,
+        adjacency: np.ndarray,
+        active_mask: np.ndarray | None = None,
+        key: bytes | None = None,
     ) -> np.ndarray:
-        """The dense normalized adjacency Â, computed at most once."""
-        return self._entry(adjacency, active_mask).dense
+        """The dense normalized adjacency Â, computed at most once.
+
+        ``key`` short-circuits the content hash when the caller already
+        holds the digest (``ACFG.content_key()``); it must equal what
+        :func:`repro.acfg.graph.content_digest` yields for
+        ``(adjacency, mask)`` — graph-keyed and array-keyed callers
+        then share cache entries.
+        """
+        return self._entry(adjacency, active_mask, key).dense
 
     def get_csr(
-        self, adjacency: np.ndarray, active_mask: np.ndarray | None = None
+        self,
+        adjacency: np.ndarray,
+        active_mask: np.ndarray | None = None,
+        dtype=None,
+        key: bytes | None = None,
     ) -> CSRMatrix:
-        """Â in CSR form, for block-diagonal batch packing."""
-        entry = self._entry(adjacency, active_mask)
-        if entry.csr is None:
-            entry.csr = CSRMatrix.from_dense(entry.dense)
-        return entry.csr
+        """Â in CSR form (per requested dtype), for batch packing."""
+        entry = self._entry(adjacency, active_mask, key)
+        dtype_str = np.dtype(np.float64 if dtype is None else dtype).str
+        csr = entry.csr.get(dtype_str)
+        if csr is None:
+            csr = CSRMatrix(entry.csr[_F64].astype(dtype_str), dtype=dtype_str)
+            entry.csr[dtype_str] = csr
+        return csr
 
     def cache_info(self) -> CacheInfo:
         return CacheInfo(self.hits, self.misses, len(self._entries), self.maxsize)
@@ -159,6 +200,8 @@ class EmbeddingCache:
 
     @staticmethod
     def _key(graph: "ACFG") -> bytes:
+        if hasattr(graph, "embed_key"):
+            return graph.embed_key()
         return _digest(
             graph.adjacency, graph.features, np.asarray([graph.n_real])
         )

@@ -90,17 +90,20 @@ class GCNClassifier(Module):
         adjacency: np.ndarray,
         features: np.ndarray,
         active_mask: np.ndarray | None = None,
+        key: bytes | None = None,
     ) -> Tensor:
         """Node embeddings Z = Φ_e(A, X), shape ``[N, f]``.
 
         ``active_mask`` marks real (non-padding, non-pruned) nodes;
         inactive rows are forced to zero after every layer so padding
         cannot leak bias terms into the pooled representation.
+        ``key`` optionally short-circuits the Â cache's content hash
+        (see :meth:`repro.gnn.cache.AHatCache.get`).
         """
         n = adjacency.shape[0]
         if active_mask is None:
             active_mask = np.ones(n, dtype=bool)
-        a_hat = Tensor(self.a_hat_cache.get(adjacency, active_mask))
+        a_hat = Tensor(self.a_hat_cache.get(adjacency, active_mask, key=key))
         return self.embed_normalized(a_hat, features, active_mask)
 
     def embed_normalized(
@@ -156,12 +159,19 @@ class GCNClassifier(Module):
 
         One sparse forward pass over the block-diagonal Â; row
         ``batch.rows_of(i)`` holds graph *i*'s embeddings, identical to
-        what :meth:`embed` produces for that graph alone.
+        what :meth:`embed` produces for that graph alone.  Each layer
+        runs as a fused spmm+bias+ReLU+mask kernel
+        (:func:`repro.nn.sparse.gcn_layer`), with intermediates in the
+        batch's :class:`~repro.nn.backend.KernelWorkspace` when one is
+        attached.
         """
-        mask = Tensor(batch.active_mask.astype(np.float64).reshape(-1, 1))
+        mask = batch.mask_column
         z = Tensor.ensure(batch.features)
-        for conv in self.convs:
-            z = conv.sparse(batch.a_hat, z) * mask
+        for index, conv in enumerate(self.convs):
+            z = conv.sparse(
+                batch.a_hat, z, mask=mask,
+                workspace=batch.workspace, slot=f"conv{index}",
+            )
         return z
 
     def logits_batch(self, z: Tensor, batch: "GraphBatch") -> Tensor:
@@ -171,14 +181,19 @@ class GCNClassifier(Module):
         mean pooling keeps the per-graph path's divide-by-padded-size
         convention via ``batch.sizes``.
         """
+        starts = batch.offsets[:-1]
         if self.pooling == "max":
-            pooled = segment_max(z, batch.segment_ids, batch.num_graphs)
-        elif self.pooling == "sum":
-            pooled = segment_sum(z, batch.segment_ids, batch.num_graphs)
-        else:  # mean over the padded size (constant per-graph divisor)
-            pooled = segment_sum(z, batch.segment_ids, batch.num_graphs) * (
-                1.0 / batch.sizes.astype(np.float64).reshape(-1, 1)
+            pooled = segment_max(
+                z, batch.segment_ids, batch.num_graphs, starts=starts
             )
+        elif self.pooling == "sum":
+            pooled = segment_sum(
+                z, batch.segment_ids, batch.num_graphs, starts=starts
+            )
+        else:  # mean over the padded size (constant per-graph divisor)
+            pooled = segment_sum(
+                z, batch.segment_ids, batch.num_graphs, starts=starts
+            ) * (1.0 / batch.sizes.astype(np.float64).reshape(-1, 1))
         return self.classifier(pooled)
 
     def forward_batch(self, batch: "GraphBatch") -> tuple[Tensor, Tensor]:
@@ -214,7 +229,8 @@ class GCNClassifier(Module):
         """(Z, probabilities) for one ACFG, masking padded nodes."""
         mask = np.zeros(graph.n, dtype=bool)
         mask[: graph.n_real] = True
-        z = self.embed(graph.adjacency, graph.features, mask)
+        key = graph.content_key() if hasattr(graph, "content_key") else None
+        z = self.embed(graph.adjacency, graph.features, mask, key=key)
         return z, self.classify(z)
 
     def predict(self, graph: ACFG) -> int:

@@ -8,8 +8,9 @@ nodes — zero features, zero edges — stay exactly inert through Φ_e.
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse as _sp
 
-__all__ = ["normalized_adjacency"]
+__all__ = ["normalized_adjacency", "normalized_adjacency_csr"]
 
 
 def normalized_adjacency(
@@ -47,3 +48,48 @@ def normalized_adjacency(
     nonzero = degree > 0
     inv_sqrt[nonzero] = 1.0 / np.sqrt(degree[nonzero])
     return with_loops * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def normalized_adjacency_csr(
+    adjacency: np.ndarray, active_mask: np.ndarray | None = None
+) -> "_sp.csr_matrix":
+    """:func:`normalized_adjacency` computed directly in CSR form.
+
+    The dense reference materializes three O(N²) intermediates
+    (symmetrized matrix, self-loop sum, scaled product); this path
+    scans the dense input once for its nonzeros and does everything
+    else on the O(nnz) sparse structure — the form the batched engine
+    packs into block-diagonal matrices, so Â is never round-tripped
+    through a second dense materialization.  Equivalent to the dense
+    reference to within last-ulp summation-order effects in the degree
+    (≪ 1e-8; ``tests/test_kernel_backend.py`` pins it down).
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    n = adjacency.shape[0]
+    if adjacency.shape != (n, n):
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    if active_mask is None:
+        active = np.ones(n, dtype=bool)
+    else:
+        active = np.asarray(active_mask, dtype=bool)
+        if active.shape != (n,):
+            raise ValueError(f"mask shape {active.shape} != ({n},)")
+
+    rows, cols = np.nonzero(adjacency)
+    sparse = _sp.csr_matrix(
+        (adjacency[rows, cols], (rows, cols)), shape=(n, n), dtype=np.float64
+    )
+    symmetric = sparse.maximum(sparse.T.tocsr()).tocsr()
+    with_loops = (
+        symmetric + _sp.diags(active.astype(np.float64), format="csr")
+    ).tocsr()
+
+    degree = np.asarray(with_loops.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degree)
+    nonzero = degree > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degree[nonzero])
+    # Row scaling via the CSR structure, column scaling via the column
+    # indices — same (w * r) * c operation order as the dense form.
+    with_loops.data *= np.repeat(inv_sqrt, np.diff(with_loops.indptr))
+    with_loops.data *= inv_sqrt[with_loops.indices]
+    return with_loops

@@ -6,6 +6,21 @@ functions used by the GNN classifier and CFGExplainer — implemented
 without any deep-learning framework.
 """
 
+from repro.nn.backend import (
+    KernelWorkspace,
+    LoopBackend,
+    ScipyBackend,
+    SparseBackend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.nn.dtype import (
+    COMPUTE_DTYPES,
+    compute_dtype,
+    get_compute_dtype,
+    set_compute_dtype,
+)
 from repro.nn.guards import (
     NumericalError,
     assert_finite,
@@ -24,10 +39,28 @@ from repro.nn.losses import (
 )
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.serialize import load_module_into, save_module
-from repro.nn.sparse import CSRMatrix, csr_matmul, segment_max, segment_sum
+from repro.nn.sparse import (
+    CSRMatrix,
+    csr_matmul,
+    gcn_layer,
+    segment_max,
+    segment_starts,
+    segment_sum,
+)
 from repro.nn.tensor import Tensor, no_grad
 
 __all__ = [
+    "COMPUTE_DTYPES",
+    "KernelWorkspace",
+    "LoopBackend",
+    "ScipyBackend",
+    "SparseBackend",
+    "compute_dtype",
+    "get_backend",
+    "get_compute_dtype",
+    "set_backend",
+    "set_compute_dtype",
+    "use_backend",
     "NumericalError",
     "assert_finite",
     "assert_finite_array",
@@ -37,6 +70,8 @@ __all__ = [
     "no_grad",
     "CSRMatrix",
     "csr_matmul",
+    "gcn_layer",
+    "segment_starts",
     "segment_sum",
     "segment_max",
     "glorot_uniform",

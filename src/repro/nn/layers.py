@@ -13,8 +13,9 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.nn.backend import KernelWorkspace
 from repro.nn.init import glorot_uniform, he_normal
-from repro.nn.sparse import CSRMatrix, csr_matmul
+from repro.nn.sparse import CSRMatrix, csr_matmul, gcn_layer
 from repro.nn.tensor import Tensor
 
 __all__ = ["Module", "Dense", "GCNConv", "Sequential"]
@@ -140,13 +141,33 @@ class GCNConv(Module):
     def __call__(self, a_hat: Tensor, x: Tensor) -> Tensor:
         return self._activation(a_hat @ (x @ self.weight) + self.bias)
 
-    def sparse(self, a_hat: "CSRMatrix", x: Tensor) -> Tensor:
+    def sparse(
+        self,
+        a_hat: "CSRMatrix",
+        x: Tensor,
+        mask: np.ndarray | None = None,
+        workspace: KernelWorkspace | None = None,
+        slot: str = "gcn",
+    ) -> Tensor:
         """The same propagation with a constant CSR matrix.
 
         Used by the batched engine, where ``a_hat`` is the
-        block-diagonal Â of a whole mini-batch.
+        block-diagonal Â of a whole mini-batch.  When the constant 0/1
+        ``mask`` column is supplied and the activation is ReLU, the
+        whole layer (including the masking) runs as one fused tape node
+        (:func:`repro.nn.sparse.gcn_layer`) — bit-identical to the
+        composed form; other activations fall back to composed ops.
         """
-        return self._activation(csr_matmul(a_hat, x @ self.weight) + self.bias)
+        if mask is not None and self.activation_name == "relu":
+            return gcn_layer(
+                a_hat, x, self.weight, self.bias, mask,
+                workspace=workspace, slot=slot,
+            )
+        out = self._activation(
+            csr_matmul(a_hat, x @ self.weight, workspace=workspace, slot=slot)
+            + self.bias
+        )
+        return out if mask is None else out * mask
 
 
 class Sequential(Module):

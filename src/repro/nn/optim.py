@@ -89,24 +89,58 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Two scratch buffers per parameter (lazily allocated on the
+        # first step) keep the whole update allocation-free.
+        self._scratch: list[tuple[np.ndarray, np.ndarray] | None] = [
+            None for _ in self.parameters
+        ]
 
     def step(self) -> None:
+        """One in-place Adam update.
+
+        Every intermediate lives in per-parameter scratch buffers, and
+        each IEEE operation matches the textbook expression operand-for-
+        operand (scalar·array products commute bitwise), so the result
+        is bit-identical to the allocating formulation
+        ``param -= lr * (m/bias1) / (sqrt(v/bias2) + eps)`` —
+        ``tests/test_kernel_backend.py`` holds it to that.
+        """
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for index, (param, m, v) in enumerate(
+            zip(self.parameters, self._m, self._v)
+        ):
             if param.grad is None:
                 continue
             grad = param.grad
+            scratch = self._scratch[index]
+            if scratch is None or scratch[0].dtype != grad.dtype:
+                scratch = (np.empty_like(grad), np.empty_like(grad))
+                self._scratch[index] = scratch
+            s1, s2 = scratch
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # grad + wd*param, without touching param.grad in place.
+                np.multiply(param.data, self.weight_decay, out=s1)
+                s1 += grad
+                grad = s1.copy()
+            # m = beta1*m + (1-beta1)*grad
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += s1
+            # v = beta2*v + (1-beta2)*grad^2
+            np.multiply(grad, grad, out=s1)
+            s1 *= 1.0 - self.beta2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += s1
+            # param -= lr * (m/bias1) / (sqrt(v/bias2) + eps)
+            np.divide(m, bias1, out=s1)
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            s1 *= self.lr
+            np.divide(s1, s2, out=s1)
+            param.data -= s1
 
     def state_dict(self) -> dict:
         state = super().state_dict()

@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import get_compute_dtype
+
 __all__ = ["Tensor", "no_grad"]
 
 # Global switch consulted when building the graph.  Inside ``no_grad()``
@@ -57,7 +59,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value) -> np.ndarray:
-    array = np.asarray(value, dtype=np.float64)
+    array = np.asarray(value, dtype=get_compute_dtype())
     return array
 
 
@@ -67,7 +69,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``numpy.asarray`` accepts; stored as float64.
+        Anything ``numpy.asarray`` accepts; stored in the compute dtype
+        (:func:`repro.nn.dtype.get_compute_dtype` — float64 unless a
+        ``compute_dtype`` context says otherwise).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad``.
     """
@@ -94,12 +98,21 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
+        # Op results keep their computed dtype (numpy promotion rules);
+        # only *leaf* construction casts to the compute dtype.  Bypassing
+        # __init__ also skips a redundant asarray per op on the hot path.
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.grad = None
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data)
         out.requires_grad = requires
         if requires:
             out._backward = backward
             out._parents = tuple(parents)
+            out._op = op
+        else:
+            out._backward = None
+            out._parents = ()
             out._op = op
         return out
 
@@ -130,7 +143,14 @@ class Tensor:
         return float(self.data)
 
     def detach(self) -> "Tensor":
-        return Tensor(self.data.copy())
+        detached = Tensor.__new__(Tensor)
+        detached.data = self.data.copy()
+        detached.requires_grad = False
+        detached.grad = None
+        detached._backward = None
+        detached._parents = ()
+        detached._op = "leaf"
+        return detached
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -147,9 +167,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                self._accumulate_unbroadcast(grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                other._accumulate_unbroadcast(grad)
 
         return Tensor._from_op(data, (self, other), backward, "add")
 
@@ -157,7 +177,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate_owned(-grad)
 
         return Tensor._from_op(-self.data, (self,), backward, "neg")
 
@@ -173,9 +193,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate_owned(_unbroadcast(grad * other.data, self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate_owned(_unbroadcast(grad * self.data, other.shape))
 
         return Tensor._from_op(data, (self, other), backward, "mul")
 
@@ -187,9 +207,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate_owned(_unbroadcast(grad / other.data, self.shape))
             if other.requires_grad:
-                other._accumulate(
+                other._accumulate_owned(
                     _unbroadcast(-grad * self.data / (other.data**2), other.shape)
                 )
 
@@ -204,7 +224,7 @@ class Tensor:
         data = self.data**exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate_owned(grad * exponent * self.data ** (exponent - 1))
 
         return Tensor._from_op(data, (self,), backward, "pow")
 
@@ -214,9 +234,9 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad @ other.data.T)
+                self._accumulate_owned(grad @ other.data.T)
             if other.requires_grad:
-                other._accumulate(self.data.T @ grad)
+                other._accumulate_owned(self.data.T @ grad)
 
         return Tensor._from_op(data, (self, other), backward, "matmul")
 
@@ -247,7 +267,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate_owned(full)
 
         return Tensor._from_op(data, (self,), backward, "getitem")
 
@@ -265,11 +285,11 @@ class Tensor:
         cols = np.asarray(cols, dtype=int)
         if values.size != rows.size or rows.size != cols.size:
             raise ValueError("values, rows and cols must have equal length")
-        data = np.zeros(shape, dtype=np.float64)
+        data = np.zeros(shape, dtype=self.data.dtype)
         data[rows, cols] = values
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad[rows, cols].reshape(self.data.shape))
+            self._accumulate_owned(grad[rows, cols].reshape(self.data.shape))
 
         return Tensor._from_op(data, (self,), backward, "scatter2d")
 
@@ -298,7 +318,7 @@ class Tensor:
             expanded = grad
             if axis is not None and not keepdims:
                 expanded = np.expand_dims(grad, axis=axis)
-            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+            self._accumulate_owned(np.broadcast_to(expanded, self.shape).copy())
 
         return Tensor._from_op(data, (self,), backward, "sum")
 
@@ -318,10 +338,10 @@ class Tensor:
             if axis is not None and not keepdims:
                 expanded = np.expand_dims(grad, axis=axis)
                 maxima = np.expand_dims(data, axis=axis)
-            mask = (self.data == maxima).astype(np.float64)
+            mask = (self.data == maxima).astype(self.data.dtype)
             # Split gradient evenly across ties so it stays a subgradient.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * expanded / counts)
+            self._accumulate_owned(mask * expanded / counts)
 
         return Tensor._from_op(data, (self,), backward, "max")
 
@@ -332,7 +352,7 @@ class Tensor:
         data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0.0))
+            self._accumulate_owned(grad * (self.data > 0.0))
 
         return Tensor._from_op(data, (self,), backward, "relu")
 
@@ -345,7 +365,7 @@ class Tensor:
         out[~positive] = exp_x / (1.0 + exp_x)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out * (1.0 - out))
+            self._accumulate_owned(grad * out * (1.0 - out))
 
         return Tensor._from_op(out, (self,), backward, "sigmoid")
 
@@ -353,7 +373,7 @@ class Tensor:
         out = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out**2))
+            self._accumulate_owned(grad * (1.0 - out**2))
 
         return Tensor._from_op(out, (self,), backward, "tanh")
 
@@ -361,7 +381,7 @@ class Tensor:
         out = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out)
+            self._accumulate_owned(grad * out)
 
         return Tensor._from_op(out, (self,), backward, "exp")
 
@@ -374,7 +394,7 @@ class Tensor:
         out = np.log(shifted)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / shifted)
+            self._accumulate_owned(grad / shifted)
 
         return Tensor._from_op(out, (self,), backward, "log")
 
@@ -386,7 +406,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             # d softmax: s * (grad - sum(grad * s))
             dot = (grad * out).sum(axis=axis, keepdims=True)
-            self._accumulate(out * (grad - dot))
+            self._accumulate_owned(out * (grad - dot))
 
         return Tensor._from_op(out, (self,), backward, "softmax")
 
@@ -397,7 +417,7 @@ class Tensor:
         softmax = np.exp(out)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+            self._accumulate_owned(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
         return Tensor._from_op(out, (self,), backward, "log_softmax")
 
@@ -418,10 +438,34 @@ class Tensor:
     # backpropagation
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` (shared with the caller: always copied first)."""
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Add a gradient array this tensor may take ownership of.
+
+        The hot-path variant of :meth:`_accumulate`: backward closures
+        that just *computed* ``grad`` (a fresh product, matmul result,
+        gather, ...) hand it over instead of paying a full copy.  The
+        caller must not read or write the array afterwards.
+        """
+        if self.grad is None:
+            if grad.dtype != self.data.dtype:
+                grad = grad.astype(self.data.dtype)
+            self.grad = grad
+        else:
+            self.grad += grad
+
+    def _accumulate_unbroadcast(self, grad: np.ndarray) -> None:
+        """Unbroadcast then accumulate, owning the result when fresh."""
+        reduced = _unbroadcast(grad, self.shape)
+        if reduced is grad:
+            self._accumulate(reduced)
+        else:
+            self._accumulate_owned(reduced)
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -448,7 +492,7 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
-        self._accumulate(np.asarray(grad, dtype=np.float64))
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)

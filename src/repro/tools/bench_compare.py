@@ -17,6 +17,11 @@ Usage::
 
     python -m repro.tools.bench_compare [--current DIR] [--baselines DIR]
                                         [--threshold F] [--allow-missing]
+                                        [--only GLOB]
+
+``--only`` restricts the comparison to baseline files matching a glob
+(e.g. ``--only BENCH_quick.json`` for the PR-time quick-perf lane,
+which produces a single artifact).
 
 Exit codes: 0 ok, 1 regression (or missing current artifact), 2 usage
 error.
@@ -200,17 +205,27 @@ def compare_directories(
     current_dir: str | Path,
     policies: tuple[MetricPolicy, ...] = DEFAULT_POLICIES,
     allow_missing: bool = False,
+    only: str | None = None,
 ) -> tuple[list[MetricDelta], bool]:
     """Compare every committed baseline file against the current run.
 
     Returns ``(deltas, ok)``.  A baseline without a current
     counterpart fails the gate (the artifact disappearing is exactly
     the silent rot the gate exists to catch) unless ``allow_missing``.
+    ``only`` narrows the gate to baseline files matching the glob —
+    for lanes that produce a subset of the artifacts.
     """
     baseline_dir, current_dir = Path(baseline_dir), Path(current_dir)
     baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if only is not None:
+        baseline_files = [
+            f for f in baseline_files if fnmatch.fnmatch(f.name, only)
+        ]
     if not baseline_files:
-        raise FileNotFoundError(f"no BENCH_*.json baselines in {baseline_dir}")
+        detail = f" matching {only!r}" if only else ""
+        raise FileNotFoundError(
+            f"no BENCH_*.json baselines{detail} in {baseline_dir}"
+        )
     deltas: list[MetricDelta] = []
     for baseline_file in baseline_files:
         baseline = json.loads(baseline_file.read_text())
@@ -251,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="missing current artifacts only warn instead of failing",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="gate only baseline files matching this glob "
+        "(e.g. BENCH_quick.json)",
+    )
     args = parser.parse_args(argv)
 
     baselines = Path(args.baselines) if args.baselines else _repo_root() / BASELINE_DIR_NAME
@@ -267,7 +288,11 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         deltas, ok = compare_directories(
-            baselines, current, policies, allow_missing=args.allow_missing
+            baselines,
+            current,
+            policies,
+            allow_missing=args.allow_missing,
+            only=args.only,
         )
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
