@@ -17,7 +17,7 @@ import numpy as np
 from repro.acfg.graph import ACFG
 from repro.core.model import CFGExplainerModel
 from repro.explain.base import Explainer, level_fractions
-from repro.explain.explanation import Explanation, SubgraphLevel
+from repro.explain.explanation import Explanation, SubgraphLevel, kept_count
 from repro.gnn.cache import EmbeddingCache
 from repro.gnn.model import GCNClassifier
 from repro.nn import Tensor, no_grad
@@ -71,7 +71,7 @@ def interpret(
     first_pass_scores: np.ndarray | None = None
 
     # Walk the ladder top-down: 100%, 100-step, ..., step.
-    target_sizes = [max(1, int(round(f * n_real))) for f in fractions]
+    target_sizes = [kept_count(f, n_real) for f in fractions]
     for next_target in reversed([0] + target_sizes[:-1]):
         snapshots.append(adjacency.copy())
         if next_target >= len(remaining):

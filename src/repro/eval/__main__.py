@@ -32,7 +32,9 @@ from repro.eval.agreement import agreement_rows, format_agreement
 from repro.eval.pipeline import ExperimentConfig, run_pipeline
 from repro.eval.sweep import sweep_all_families
 from repro.eval.tables import (
+    build_counterfactual_table,
     build_table3,
+    format_counterfactual_table,
     format_figure2,
     format_table3,
     format_table4,
@@ -124,7 +126,8 @@ def parse_args() -> argparse.Namespace:
             "Inject hostile samples into a small corpus, run the full "
             "pipeline under the quarantine policy, measure explanation "
             "stability under perturbation, and write BENCH_stability.json "
-            "plus a RunManifest carrying the quarantine report."
+            "and BENCH_counterfactual.json plus a RunManifest carrying "
+            "the quarantine report."
         ),
     )
     robustness.add_argument(
@@ -140,8 +143,9 @@ def parse_args() -> argparse.Namespace:
     )
     robustness.add_argument(
         "--out", default=None,
-        help="directory for BENCH_stability.json and RUN_MANIFEST.json "
-             "(default: $REPRO_BENCH_DIR or the repo root)",
+        help="directory for BENCH_stability.json, BENCH_counterfactual.json "
+             "and RUN_MANIFEST.json (default: $REPRO_BENCH_DIR or the repo "
+             "root)",
     )
     robustness.add_argument(
         "--skip-stability", action="store_true",
@@ -271,6 +275,13 @@ def run_evaluation(args: argparse.Namespace) -> int:
 
     print("## Table III — top-10%/20% accuracy and AUC\n")
     print(format_table3(build_table3(sweeps)))
+
+    print("\n## Counterfactual metrics — sufficiency/necessity/edit size "
+          "(top-20% subgraphs)\n")
+    print(format_counterfactual_table(
+        build_counterfactual_table(artifacts.gnn, sweeps, fraction=0.2),
+        fraction=0.2,
+    ))
 
     print("\n## Table IV — explanation time\n")
     graph_count = min(10, len(artifacts.test_set))

@@ -30,6 +30,7 @@ from repro.baselines import (
 )
 from repro.core import CFGExplainer, CFGExplainerModel, train_cfgexplainer
 from repro.explain.base import Explainer
+from repro.explain.counterfactual import CFExplainer
 from repro.gnn import (
     TRAINING_MODES,
     EmbeddingCache,
@@ -107,6 +108,11 @@ class ExperimentConfig:
     pgexplainer_epochs: int = 12
     subgraphx_iterations: int = 25
     subgraphx_shapley_samples: int = 4
+
+    # CFExplainer (counterfactual edge deletion; local, no offline stage)
+    cfexplainer_iterations: int = 150
+    cfexplainer_lr: float = 0.3
+    cfexplainer_l1: float = 0.002
 
     # evaluation
     step_size: int = 10
@@ -337,6 +343,13 @@ def build_untrained_artifacts(config: ExperimentConfig) -> PipelineArtifacts:
             seed=config.seed,
         ),
         "PGExplainer": pg,
+        "CFExplainer": CFExplainer(
+            gnn,
+            iterations=config.cfexplainer_iterations,
+            lr=config.cfexplainer_lr,
+            l1_weight=config.cfexplainer_l1,
+            seed=config.seed,
+        ),
     }
     return PipelineArtifacts(
         config=config,
@@ -596,6 +609,7 @@ def run_pipeline(
         maybe_stop("pgexplainer")
         offline["GNNExplainer"] = 0.0  # local method: no offline stage
         offline["SubgraphX"] = 0.0
+        offline["CFExplainer"] = 0.0
 
     explainers: dict[str, Explainer] = {
         "CFGExplainer": CFGExplainer(gnn, theta, embedding_cache=embedding_cache),
@@ -609,6 +623,13 @@ def run_pipeline(
             seed=rng_seed,
         ),
         "PGExplainer": pg,
+        "CFExplainer": CFExplainer(
+            gnn,
+            iterations=config.cfexplainer_iterations,
+            lr=config.cfexplainer_lr,
+            l1_weight=config.cfexplainer_l1,
+            seed=rng_seed,
+        ),
     }
 
     return PipelineArtifacts(

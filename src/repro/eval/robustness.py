@@ -1,6 +1,6 @@
 """The robustness drill: hostile ingestion + explanation stability.
 
-Behind ``python -m repro.eval robustness``.  The drill answers two
+Behind ``python -m repro.eval robustness``.  The drill answers three
 questions an operator of this pipeline should be able to answer on
 demand:
 
@@ -15,11 +15,19 @@ demand:
    :mod:`repro.eval.stability` benchmark perturbs held-out graphs and
    reports top-k overlap and rank correlation per explainer, writing
    ``BENCH_stability.json`` for the CI regression gate.
+3. **Do explanations hold up counterfactually?**  Every explainer's
+   sufficiency / necessity / edit-size at the top-20% keep — plus
+   :class:`~repro.explain.CFExplainer`'s prediction-flip rate and mean
+   deletion-set size — land in ``BENCH_counterfactual.json``, gated the
+   same way.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+
+import numpy as np
 
 from repro.eval.pipeline import ExperimentConfig, run_pipeline
 from repro.eval.stability import (
@@ -28,10 +36,16 @@ from repro.eval.stability import (
     run_stability,
     write_stability_bench,
 )
+from repro.explain.metrics import edit_size, necessity, sufficiency
 from repro.harden import inject_hostile
 from repro.obs import RunManifest, span, tracing
 
-__all__ = ["DRILL_CONFIG", "run_robustness_drill"]
+__all__ = [
+    "DRILL_CONFIG",
+    "counterfactual_bench_payload",
+    "run_robustness_drill",
+    "write_counterfactual_bench",
+]
 
 #: Small-but-complete training knobs (PROFILE_CONFIG-sized) with the
 #: quarantine policy on — the whole point of the drill.
@@ -44,9 +58,65 @@ DRILL_CONFIG = ExperimentConfig(
     pgexplainer_epochs=4,
     subgraphx_iterations=8,
     subgraphx_shapley_samples=2,
+    cfexplainer_iterations=60,
     step_size=20,
     on_bad_input="quarantine",
 )
+
+
+def counterfactual_bench_payload(
+    artifacts,
+    fraction: float = 0.2,
+    graphs_per_family: int = 1,
+    step_size: int = 20,
+) -> dict:
+    """The ``BENCH_counterfactual.json`` payload.
+
+    One cell per explainer over a deterministic per-family sample of
+    the test split: sufficiency / necessity / edit-size at the
+    top-``fraction`` keep, plus CFExplainer's counterfactual search
+    quality (``flip_rate``, ``mean_deleted_edges``).  Leaves are gated
+    by :mod:`repro.tools.bench_compare`'s absolute policies.
+    """
+    graphs = []
+    for family in artifacts.test_set.families:
+        graphs.extend(
+            sorted(artifacts.test_set.of_family(family), key=lambda g: g.name)[
+                :graphs_per_family
+            ]
+        )
+    payload: dict = {}
+    for name, explainer in artifacts.explainers.items():
+        explanations = [
+            explainer.explain(graph, step_size=step_size) for graph in graphs
+        ]
+        payload[name] = {
+            "sufficiency": round(
+                sufficiency(artifacts.gnn, explanations, fraction), 4
+            ),
+            "necessity": round(
+                necessity(artifacts.gnn, explanations, fraction), 4
+            ),
+            "edit_size": round(edit_size(explanations, fraction), 4),
+        }
+    cf = artifacts.explainers.get("CFExplainer")
+    if cf is not None:
+        results = [cf.counterfactual(graph) for graph in graphs]
+        flipped = [r for r in results if r.flipped]
+        payload["CFExplainer"]["flip_rate"] = round(
+            len(flipped) / len(results), 4
+        ) if results else 0.0
+        payload["CFExplainer"]["mean_deleted_edges"] = round(
+            float(np.mean([r.edit_size for r in flipped])), 4
+        ) if flipped else 0.0
+    return payload
+
+
+def write_counterfactual_bench(payload: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def run_robustness_drill(
@@ -127,6 +197,19 @@ def run_robustness_drill(
         print(format_stability_table(rows))
         bench_path = write_stability_bench(rows, out_dir / "BENCH_stability.json")
         print(f"\nwrote {bench_path}")
+
+        print("\n## Counterfactual quality (top-20% keep)\n")
+        cf_payload = counterfactual_bench_payload(
+            artifacts, step_size=config.step_size
+        )
+        for name, cell in cf_payload.items():
+            print(f"  {name:14s} " + "  ".join(
+                f"{key}={value:.4f}" for key, value in cell.items()
+            ))
+        cf_path = write_counterfactual_bench(
+            cf_payload, out_dir / "BENCH_counterfactual.json"
+        )
+        print(f"\nwrote {cf_path}")
 
     manifest.extra["quarantine"] = report.to_dict()
     manifest.extra["hostile_injected"] = sorted(injected)

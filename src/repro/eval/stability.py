@@ -39,6 +39,7 @@ import numpy as np
 from repro.acfg.graph import ACFG, from_sample
 from repro.disasm.instruction import Instruction
 from repro.disasm.program import Program
+from repro.explain.explanation import kept_count
 from repro.malgen.corpus import LabeledSample, block_motif_tags
 from repro.obs import span as obs_span
 
@@ -297,7 +298,7 @@ def _stability_row(
     skipped = 0
     for graph in members:
         reference = base[graph.name]
-        k = max(1, int(round(config.top_fraction * graph.n_real)))
+        k = kept_count(config.top_fraction, graph.n_real)
         for trial in range(config.trials):
             # One private, reproducible stream per measurement cell
             # (crc32, not hash(): PYTHONHASHSEED must not leak in).

@@ -1,4 +1,5 @@
-"""Renderers for the paper's Table III, Table IV and Figure 2 (ASCII)."""
+"""Renderers for the paper's Table III, Table IV and Figure 2 (ASCII),
+plus the counterfactual sufficiency/necessity/edit-size table."""
 
 from __future__ import annotations
 
@@ -8,8 +9,28 @@ import numpy as np
 
 from repro.eval.sweep import FamilySweep
 from repro.eval.timing import ExplainerTiming
+from repro.explain.metrics import edit_size, necessity, sufficiency
+from repro.gnn.model import GCNClassifier
 
-__all__ = ["Table3Row", "build_table3", "format_table3", "format_table4", "format_figure2"]
+__all__ = [
+    "Table3Row",
+    "CounterfactualRow",
+    "build_table3",
+    "build_counterfactual_table",
+    "format_table3",
+    "format_table4",
+    "format_figure2",
+    "format_counterfactual_table",
+]
+
+#: Column order shared by Table III and the counterfactual table.
+EXPLAINER_ORDER: tuple[str, ...] = (
+    "CFGExplainer",
+    "GNNExplainer",
+    "SubgraphX",
+    "PGExplainer",
+    "CFExplainer",
+)
 
 
 @dataclass(frozen=True)
@@ -22,12 +43,7 @@ class Table3Row:
 
 def build_table3(
     sweeps: dict[str, dict[str, FamilySweep]],
-    explainer_order: tuple[str, ...] = (
-        "CFGExplainer",
-        "GNNExplainer",
-        "SubgraphX",
-        "PGExplainer",
-    ),
+    explainer_order: tuple[str, ...] = EXPLAINER_ORDER,
 ) -> list[Table3Row]:
     """Summarize Figure 2 sweeps into Table III rows plus an Average row."""
     rows = []
@@ -73,6 +89,65 @@ def format_table3(rows: list[Table3Row]) -> str:
             else:
                 parts.append(" " * 28)
         lines.append(" | ".join(parts))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CounterfactualRow:
+    """One explainer's counterfactual scores at a fixed kept fraction."""
+
+    explainer: str
+    sufficiency: float
+    necessity: float
+    edit_size: float
+
+
+def build_counterfactual_table(
+    model: GCNClassifier,
+    sweeps: dict[str, dict[str, FamilySweep]],
+    fraction: float = 0.2,
+    explainer_order: tuple[str, ...] = EXPLAINER_ORDER,
+) -> list[CounterfactualRow]:
+    """Sufficiency / necessity / edit-size per explainer, pooled over
+    every family's explanations (the CFF-style dual of Table III)."""
+    rows = []
+    for name in explainer_order:
+        explanations = [
+            explanation
+            for family in sweeps
+            if name in sweeps[family]
+            for explanation in sweeps[family][name].explanations
+        ]
+        if not explanations:
+            continue
+        rows.append(
+            CounterfactualRow(
+                explainer=name,
+                sufficiency=sufficiency(model, explanations, fraction),
+                necessity=necessity(model, explanations, fraction),
+                edit_size=edit_size(explanations, fraction),
+            )
+        )
+    return rows
+
+
+def format_counterfactual_table(
+    rows: list[CounterfactualRow], fraction: float = 0.2
+) -> str:
+    """Render the counterfactual table as fixed-width text."""
+    if not rows:
+        return "(empty)"
+    pct = int(round(100 * fraction))
+    lines = [
+        f"{'Explainer':14s} | {f'Sufficiency@{pct}%':>16s} | "
+        f"{f'Necessity@{pct}%':>14s} | {'Edit size':>10s}",
+        "-" * 66,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.explainer:14s} | {row.sufficiency:16.4f} | "
+            f"{row.necessity:14.4f} | {row.edit_size:10.4f}"
+        )
     return "\n".join(lines)
 
 

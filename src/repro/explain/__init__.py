@@ -1,7 +1,8 @@
 """Common explainer interface, explanation objects, and quality metrics."""
 
 from repro.explain.base import Explainer, RankingExplainer
-from repro.explain.explanation import Explanation, SubgraphLevel
+from repro.explain.counterfactual import CFExplainer, CounterfactualResult
+from repro.explain.explanation import Explanation, SubgraphLevel, kept_count
 from repro.explain.groundtruth import (
     SignatureRecovery,
     mean_signature_recovery,
@@ -9,24 +10,33 @@ from repro.explain.groundtruth import (
 )
 from repro.explain.metrics import (
     accuracy_auc,
+    edit_size,
     fidelity_minus_acc,
     fidelity_plus_acc,
+    necessity,
     sparsity,
     subgraph_accuracy,
+    sufficiency,
     sweep_accuracy_curve,
 )
 
 __all__ = [
     "Explanation",
     "SubgraphLevel",
+    "kept_count",
     "Explainer",
     "RankingExplainer",
+    "CFExplainer",
+    "CounterfactualResult",
     "subgraph_accuracy",
     "sweep_accuracy_curve",
     "accuracy_auc",
     "fidelity_minus_acc",
     "fidelity_plus_acc",
     "sparsity",
+    "sufficiency",
+    "necessity",
+    "edit_size",
     "SignatureRecovery",
     "signature_recovery",
     "mean_signature_recovery",

@@ -1,14 +1,15 @@
 """Abstract explainer interface.
 
-Every explainer — CFGExplainer and the three baselines — ultimately
-produces a node importance ranking for one classified ACFG; the common
-machinery here turns a ranking into the paper's subgraph ladder so the
-sweep harness and metrics are written once.
+Every explainer — CFGExplainer, the three attribution baselines and the
+counterfactual CFExplainer — ultimately produces a node importance
+ranking for one classified ACFG; the common machinery here turns a
+ranking into the paper's subgraph ladder so the sweep harness and
+metrics are written once.
 
 ``RankingExplainer`` covers the one-shot explainers (GNNExplainer,
-PGExplainer, SubgraphX and the sanity baselines) that score nodes once.
-CFGExplainer overrides :meth:`explain` with the iterative re-scoring
-loop of Algorithm 2.
+PGExplainer, SubgraphX, CFExplainer and the sanity baselines) that
+score nodes once.  CFGExplainer overrides :meth:`explain` with the
+iterative re-scoring loop of Algorithm 2.
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ import abc
 import numpy as np
 
 from repro.acfg.graph import ACFG
-from repro.explain.explanation import Explanation, SubgraphLevel
+from repro.explain.explanation import Explanation, SubgraphLevel, kept_count
 from repro.gnn.model import GCNClassifier
 from repro.obs import span as obs_span
 
@@ -40,8 +41,9 @@ def ladder_from_order(
     """Build the subgraph ladder for a fixed importance ordering."""
     levels = []
     for fraction in level_fractions(step_size):
-        count = max(1, int(round(fraction * graph.n_real)))
-        kept = np.asarray(node_order[:count], dtype=int)
+        kept = np.asarray(
+            node_order[: kept_count(fraction, graph.n_real)], dtype=int
+        )
         levels.append(
             SubgraphLevel(
                 fraction=fraction,

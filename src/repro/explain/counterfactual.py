@@ -1,0 +1,321 @@
+"""CFExplainer — counterfactual edge-deletion explanations.
+
+The factual explainers answer "which subgraph *keeps* the prediction";
+this one answers the dual question from CF-GNNExplainer (Lucic et al.,
+2022) and CFF: **which minimal set of control-flow edges, when deleted,
+makes the predicted malware family disappear?**
+
+For one classified ACFG, a keep-probability is learned per undirected
+edge of the symmetrized real-node adjacency.  Each step samples a
+binary-concrete relaxation of the mask (symmetric logistic noise over
+symmetric logits, temperature ``tau``), rebuilds the *renormalized*
+propagation matrix ``Â = D^{-1/2}(M ⊙ A_sym + I_active)D^{-1/2}``
+differentiably — the degree renormalization matters: deleting edges
+boosts the survivors' weights, and a relaxation that ignores it
+optimizes the wrong model — and descends
+
+    loss = -log(1 - p_original) + l1_weight * (soft deletion mass)
+
+so the mask is pushed until the original class loses probability with
+as few deletions as possible.  After every step the mask is hardened at
+0.5 and the *actual* edited graph (both edge directions zeroed, Â
+recomputed from scratch) is classified; the smallest deletion set that
+flips the prediction is kept.  A final greedy pass walks the edges in
+ascending keep-probability and takes the shortest flipping prefix,
+which both rescues graphs whose mask never crosses the threshold and
+shrinks the edit (the relaxation over-deletes; prefixes of its ordering
+usually flip much earlier).
+
+The node ranking — what slots this into the ``Explanation`` ladder and
+every existing sweep — scores each real node by the *deletion mass of
+its incident edges* (1 - keep probability, summed over both incident
+directions): nodes whose edges the counterfactual must cut are the
+nodes the prediction hinges on.
+
+Failure modes degrade, never raise: an edgeless (or fully disconnected)
+graph, an exhausted iteration budget, or a :class:`~repro.nn.guards.
+NumericalError` mid-descent all produce a :class:`CounterfactualResult`
+with ``flipped=False`` and whatever soft scores were learned — the
+fuzzer's "typed result or bust" invariant holds on hostile inputs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acfg.graph import ACFG
+from repro.explain.base import RankingExplainer
+from repro.gnn.model import GCNClassifier
+from repro.gnn.normalize import normalized_adjacency
+from repro.nn import Adam, Tensor, no_grad
+from repro.nn.guards import NumericalError, clip_grad_norm
+
+__all__ = ["CFExplainer", "CounterfactualResult"]
+
+
+@dataclass(frozen=True)
+class CounterfactualResult:
+    """Outcome of one counterfactual search.
+
+    ``deleted_edges`` lists undirected real-node pairs ``(i, j)`` with
+    ``i < j``; deleting both directions of exactly these edges changes
+    the model's prediction from ``original_class`` to
+    ``counterfactual_class``.  When no flip was found inside the budget
+    (``flipped=False``) the edit set is empty, ``counterfactual_class``
+    is None, and the soft ``node_scores`` still rank nodes by how hard
+    the optimizer tried to cut their edges.
+    """
+
+    graph_name: str
+    flipped: bool
+    original_class: int
+    counterfactual_class: int | None
+    deleted_edges: tuple[tuple[int, int], ...]
+    iterations_run: int
+    node_scores: np.ndarray
+
+    @property
+    def edit_size(self) -> int:
+        """Number of undirected edges the counterfactual deletes."""
+        return len(self.deleted_edges)
+
+
+class CFExplainer(RankingExplainer):
+    """Counterfactual edge-deletion explainer.
+
+    Parameters
+    ----------
+    model:
+        The frozen, pre-trained GNN classifier to explain.
+    iterations:
+        Optimization steps per graph.  The default holds a wide margin
+        over the ~80 steps the hardest synthetic-corpus graphs need.
+    lr:
+        Adam learning rate for the mask logits.
+    l1_weight:
+        Coefficient of the soft deletion-mass penalty (edit sparsity).
+    tau:
+        Binary-concrete temperature; lower is closer to discrete.
+    grad_clip:
+        Global-norm gradient clip guarding the descent.
+    seed:
+        Base seed; each graph derives a private stream from
+        ``(seed, crc32(graph.name))`` so results are deterministic and
+        independent of explanation order.
+    """
+
+    name = "CFExplainer"
+
+    def __init__(
+        self,
+        model: GCNClassifier,
+        iterations: int = 150,
+        lr: float = 0.3,
+        l1_weight: float = 0.002,
+        tau: float = 1.0,
+        grad_clip: float = 10.0,
+        seed: int = 0,
+    ):
+        super().__init__(model)
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.iterations = iterations
+        self.lr = lr
+        self.l1_weight = l1_weight
+        self.tau = tau
+        self.grad_clip = grad_clip
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # RankingExplainer interface
+    # ------------------------------------------------------------------
+    def rank_nodes(self, graph: ACFG) -> tuple[np.ndarray, np.ndarray]:
+        result = self.counterfactual(graph)
+        scores = result.node_scores
+        order = np.argsort(-scores, kind="stable")
+        return order, scores
+
+    # ------------------------------------------------------------------
+    # the counterfactual search
+    # ------------------------------------------------------------------
+    def counterfactual(self, graph: ACFG) -> CounterfactualResult:
+        """Search for the minimal edge-deletion set that flips ``graph``."""
+        if graph.n_real == 0:
+            raise ValueError("cannot explain a graph with no real nodes")
+        n, n_real = graph.n, graph.n_real
+        active = np.zeros(n, dtype=bool)
+        active[:n_real] = True
+        original = self.model.predict(graph)
+
+        sym = np.maximum(graph.adjacency, graph.adjacency.T)
+        iu, ju = np.nonzero(np.triu(sym[:n_real, :n_real], k=1))
+        if iu.size == 0:
+            # Single-node or edgeless graph: there is nothing to delete,
+            # so no counterfactual of this form exists.  Degrade.
+            return CounterfactualResult(
+                graph_name=graph.name,
+                flipped=False,
+                original_class=original,
+                counterfactual_class=None,
+                deleted_edges=(),
+                iterations_run=0,
+                node_scores=np.zeros(n_real),
+            )
+
+        support = np.zeros((n, n))
+        support[iu, ju] = 1.0
+        support[ju, iu] = 1.0
+        # Entries of A_sym outside the mask support (self-jump diagonal
+        # blocks) plus the active-node self-loops stay constant.
+        const = sym * (1.0 - support) + np.diag(active.astype(np.float64))
+        # Padded rows have zero degree; +1 keeps D^{-1/2} finite there
+        # (their Â rows are all-zero regardless).
+        degree_guard = (~active).astype(np.float64)[:, None]
+
+        rng = np.random.default_rng(
+            (self.seed, zlib.crc32(graph.name.encode("utf-8")))
+        )
+        # Start from "keep everything" (sigmoid(3) ≈ 0.95): the search
+        # walks from the intact graph toward the decision boundary.
+        logits = Tensor(np.full((n, n), 3.0), requires_grad=True)
+        sym_t, support_t = Tensor(sym), Tensor(support)
+        const_t, guard_t = Tensor(const), Tensor(degree_guard)
+        optimizer = Adam([logits], lr=self.lr)
+
+        best: tuple[list[tuple[int, int]], int] | None = None
+        iterations_run = 0
+        try:
+            for _ in range(self.iterations):
+                optimizer.zero_grad()
+                keep = self._sample_keep(logits, rng, n)
+                with_loops = sym_t * keep * support_t + const_t
+                degree = with_loops.sum(axis=1, keepdims=True) + guard_t
+                inv_sqrt = degree**-0.5
+                a_hat = with_loops * inv_sqrt * inv_sqrt.T
+                z = self.model.embed_normalized(a_hat, graph.features, active)
+                probs = self.model.classify(z)
+                p_original = probs.reshape(-1)[original : original + 1]
+                flip_loss = -((1.0 - p_original).log(eps=1e-12).sum())
+                deletion_mass = ((1.0 - keep) * support_t).sum() * 0.5
+                loss = flip_loss + self.l1_weight * deletion_mass
+                loss.backward()
+                clip_grad_norm([logits], self.grad_clip)
+                optimizer.step()
+                iterations_run += 1
+
+                pairs = self._thresholded_pairs(logits, iu, ju)
+                if pairs and (best is None or len(pairs) < len(best[0])):
+                    flipped_to = self._classify_deleted(graph, pairs, active)
+                    if flipped_to != original:
+                        best = (pairs, flipped_to)
+        except NumericalError:
+            # A poisoned gradient ends the search; whatever was learned
+            # (and found) so far still stands.
+            pass
+
+        best = self._greedy_prefix(graph, active, original, logits, iu, ju, best)
+        scores = self._deletion_mass_scores(logits, support, n_real)
+        if best is None:
+            return CounterfactualResult(
+                graph_name=graph.name,
+                flipped=False,
+                original_class=original,
+                counterfactual_class=None,
+                deleted_edges=(),
+                iterations_run=iterations_run,
+                node_scores=scores,
+            )
+        pairs, flipped_to = best
+        return CounterfactualResult(
+            graph_name=graph.name,
+            flipped=True,
+            original_class=original,
+            counterfactual_class=flipped_to,
+            deleted_edges=tuple(sorted(pairs)),
+            iterations_run=iterations_run,
+            node_scores=scores,
+        )
+
+    # ------------------------------------------------------------------
+    # pieces
+    # ------------------------------------------------------------------
+    def _sample_keep(
+        self, logits: Tensor, rng: np.random.Generator, n: int
+    ) -> Tensor:
+        """One symmetric binary-concrete sample of the keep mask."""
+        sym_logits = (logits + logits.T) * 0.5
+        u = rng.uniform(1e-6, 1.0 - 1e-6, size=(n, n))
+        noise = np.log(u) - np.log1p(-u)
+        noise = (noise + noise.T) * 0.5
+        return ((sym_logits + Tensor(noise)) * (1.0 / self.tau)).sigmoid()
+
+    def _keep_probs(self, logits: Tensor) -> np.ndarray:
+        probs = 1.0 / (1.0 + np.exp(-logits.numpy()))
+        return (probs + probs.T) * 0.5
+
+    def _thresholded_pairs(
+        self, logits: Tensor, iu: np.ndarray, ju: np.ndarray
+    ) -> list[tuple[int, int]]:
+        keep = self._keep_probs(logits)
+        return [
+            (int(i), int(j)) for i, j in zip(iu, ju) if keep[i, j] < 0.5
+        ]
+
+    def _classify_deleted(
+        self, graph: ACFG, pairs: list[tuple[int, int]], active: np.ndarray
+    ) -> int:
+        """The model's honest prediction after deleting ``pairs``.
+
+        Both directions are zeroed and Â is recomputed from the edited
+        adjacency — deliberately bypassing ``model.embed``'s content-
+        keyed ÂCache, which must never see these transient edits.
+        """
+        edited = graph.adjacency.copy()
+        for i, j in pairs:
+            edited[i, j] = 0.0
+            edited[j, i] = 0.0
+        a_hat = normalized_adjacency(edited, active)
+        with no_grad():
+            z = self.model.embed_normalized(Tensor(a_hat), graph.features, active)
+            probs = self.model.classify(z)
+        return int(np.argmax(probs.numpy()))
+
+    def _greedy_prefix(
+        self,
+        graph: ACFG,
+        active: np.ndarray,
+        original: int,
+        logits: Tensor,
+        iu: np.ndarray,
+        ju: np.ndarray,
+        best: tuple[list[tuple[int, int]], int] | None,
+    ) -> tuple[list[tuple[int, int]], int] | None:
+        """Shortest flipping prefix of the ascending-keep edge order."""
+        keep = self._keep_probs(logits)
+        order = sorted(
+            ((int(i), int(j)) for i, j in zip(iu, ju)),
+            key=lambda pair: keep[pair[0], pair[1]],
+        )
+        # Only prefixes strictly smaller than the current best can help.
+        limit = len(best[0]) - 1 if best is not None else len(order)
+        for k in range(1, limit + 1):
+            pairs = order[:k]
+            flipped_to = self._classify_deleted(graph, pairs, active)
+            if flipped_to != original:
+                return pairs, flipped_to
+        return best
+
+    @staticmethod
+    def _deletion_mass_scores(
+        logits: Tensor, support: np.ndarray, n_real: int
+    ) -> np.ndarray:
+        """Node score = soft deletion mass over incident edge directions."""
+        probs = 1.0 / (1.0 + np.exp(-logits.numpy()))
+        deletion = (1.0 - (probs + probs.T) * 0.5) * support
+        incident = deletion.sum(axis=0) + deletion.sum(axis=1)
+        return incident[:n_real].copy()

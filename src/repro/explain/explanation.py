@@ -1,4 +1,4 @@
-"""Explanation result objects shared by all four explainers.
+"""Explanation result objects shared by all five explainers.
 
 Mirrors the outputs of the paper's Algorithm 2: a node ordering
 (``V_ordered``, most important first) plus a ladder of subgraphs at each
@@ -7,13 +7,33 @@ step-size level, smallest first.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.acfg.graph import ACFG
 
-__all__ = ["SubgraphLevel", "Explanation"]
+__all__ = ["SubgraphLevel", "Explanation", "kept_count"]
+
+
+def kept_count(fraction: float, n: int) -> int:
+    """How many of ``n`` real nodes a ``fraction`` keep retains.
+
+    The single source of truth for every "top k%" computation —
+    ``top_nodes``, the subgraph ladder, lifted explanations, stability's
+    top-k and Algorithm 2's target sizes all call this, so they can
+    never desynchronize.  Semantics are half-up ("top 10%" of 25 nodes
+    keeps 3, not Python ``round``'s banker's 2), with a small epsilon so
+    float representations of exact halves (0.3 * 5 = 1.4999...98) still
+    round up, clamped to [1, n].
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if n < 1:
+        raise ValueError("need at least one real node")
+    count = int(math.floor(fraction * n + 0.5 + 1e-9))
+    return max(1, min(count, n))
 
 
 @dataclass(frozen=True)
@@ -54,10 +74,7 @@ class Explanation:
 
     def top_nodes(self, fraction: float) -> np.ndarray:
         """The most important ``fraction`` of real nodes (at least one)."""
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        count = max(1, int(round(fraction * self.graph.n_real)))
-        return self.node_order[:count].copy()
+        return self.node_order[: kept_count(fraction, self.graph.n_real)].copy()
 
     def level_at(self, fraction: float) -> SubgraphLevel:
         """The ladder rung closest to ``fraction``."""

@@ -21,7 +21,15 @@ __all__ = [
     "fidelity_minus_acc",
     "fidelity_plus_acc",
     "sparsity",
+    "sufficiency",
+    "necessity",
+    "edit_size",
 ]
+
+
+def _canonical_percents(fractions) -> list[int]:
+    """Ladder fractions as integer percents (the lift-safe canonical form)."""
+    return [int(round(100 * float(f))) for f in fractions]
 
 
 def _target_class(graph: ACFG, model: GCNClassifier, against_prediction: bool) -> int:
@@ -66,7 +74,12 @@ def sweep_accuracy_curve(
     if not explanations:
         raise ValueError("need at least one explanation")
     fractions = explanations[0].fractions
-    if any(e.fractions != fractions for e in explanations):
+    # Compare ladders in canonical integer-percent form: lifted
+    # explanations rebuild their fractions via round(100 * f) / 100, so
+    # a float-exact != would spuriously split e.g. 0.30000000000000004
+    # from 0.3 when lifted and unlifted explanations mix in one sweep.
+    canonical = _canonical_percents(fractions)
+    if any(_canonical_percents(e.fractions) != canonical for e in explanations):
         raise ValueError("explanations have mismatched ladder fractions")
     accuracies = [
         subgraph_accuracy(model, explanations, fraction, against_prediction)
@@ -122,7 +135,11 @@ def fidelity_plus_acc(
             [i for i in range(graph.n_real) if i not in important], dtype=int
         )
         if complement.size == 0:
-            continue  # nothing left to classify; counts as incorrect
+            # A fully-kept explanation leaves nothing to classify after
+            # removal.  It stays in the denominator below and simply
+            # never increments ``correct`` — i.e. removal is scored as
+            # an incorrect prediction, not dropped from the metric.
+            continue
         predicted = model.predict_subgraph(graph, complement)
         correct += int(predicted == graph.label)
     removed = correct / len(explanations)
@@ -133,6 +150,84 @@ def sparsity(explanation: Explanation, fraction: float) -> float:
     """Share of nodes NOT in the explanation (1 - kept / real)."""
     kept = explanation.top_nodes(fraction).size
     return 1.0 - kept / explanation.graph.n_real
+
+
+def sufficiency(
+    model: GCNClassifier, explanations: list[Explanation], fraction: float
+) -> float:
+    """CFF's factual axis: does the explanation alone KEEP the class?
+
+    Fraction of explanations whose top-``fraction`` subgraph still
+    classifies to the explanation's own predicted class.  Higher is
+    better — a sufficient explanation carries the evidence for the
+    family call by itself.
+    """
+    if not explanations:
+        raise ValueError("need at least one explanation")
+    keeps = 0
+    for explanation in explanations:
+        kept = explanation.top_nodes(fraction)
+        predicted = model.predict_subgraph(explanation.graph, kept)
+        keeps += int(predicted == explanation.predicted_class)
+    return keeps / len(explanations)
+
+
+def necessity(
+    model: GCNClassifier, explanations: list[Explanation], fraction: float
+) -> float:
+    """CFF's counterfactual axis: does removing the explanation LOSE the class?
+
+    Fraction of explanations whose residual graph — everything except
+    the top-``fraction`` nodes — no longer classifies to the predicted
+    class.  Higher is better — a necessary explanation cannot be cut out
+    without the family call disappearing.  An empty residual (the
+    explanation kept every node) counts as lost: with no nodes left
+    there is nothing to sustain the prediction.
+    """
+    if not explanations:
+        raise ValueError("need at least one explanation")
+    lost = 0
+    for explanation in explanations:
+        graph = explanation.graph
+        important = set(explanation.top_nodes(fraction).tolist())
+        complement = np.array(
+            [i for i in range(graph.n_real) if i not in important], dtype=int
+        )
+        if complement.size == 0:
+            lost += 1
+            continue
+        predicted = model.predict_subgraph(graph, complement)
+        lost += int(predicted != explanation.predicted_class)
+    return lost / len(explanations)
+
+
+def edit_size(explanations: list[Explanation], fraction: float) -> float:
+    """Mean share of undirected edges the ``necessity`` edit deletes.
+
+    Cutting the top-``fraction`` nodes out of a graph severs every edge
+    incident to them; this is that cut's size relative to the graph's
+    undirected (symmetrized, off-diagonal) real-edge count, averaged
+    over the explanations.  Lower is better: a small, surgical edit that
+    still flips the prediction is the counterfactual ideal.  Edgeless
+    graphs contribute 0.
+    """
+    if not explanations:
+        raise ValueError("need at least one explanation")
+    shares = []
+    for explanation in explanations:
+        graph = explanation.graph
+        real = graph.adjacency[: graph.n_real, : graph.n_real]
+        sym = np.maximum(real, real.T)
+        iu, ju = np.nonzero(np.triu(sym, k=1))
+        if iu.size == 0:
+            shares.append(0.0)
+            continue
+        important = set(explanation.top_nodes(fraction).tolist())
+        cut = sum(
+            1 for i, j in zip(iu, ju) if int(i) in important or int(j) in important
+        )
+        shares.append(cut / iu.size)
+    return float(np.mean(shares))
 
 
 def _full_accuracy(model: GCNClassifier, explanations: list[Explanation]) -> float:

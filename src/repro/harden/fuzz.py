@@ -2,7 +2,7 @@
 
 Seeded mutation of assembly listings and ACFG payloads, driven through
 the full stack: parser → CFG recovery → feature extraction → sanitizer
-→ reduction → GNN forward → all four explainers.  The invariant under
+→ reduction → GNN forward → all five explainers.  The invariant under
 test is *typed rejection or success, never a crash and never a NaN*:
 
 * hostile text must be rejected with :class:`~repro.disasm.ParseError`
@@ -48,6 +48,7 @@ from repro.core.interpret import CFGExplainer
 from repro.core.model import CFGExplainerModel
 from repro.disasm.cfg import CFGBuildError, build_cfg
 from repro.disasm.parser import ParseError, parse_program
+from repro.explain.counterfactual import CFExplainer
 from repro.gnn.model import GCNClassifier
 from repro.harden.sanitize import GraphSanitizer, HostileInputError
 from repro.malgen.corpus import LabeledSample, block_motif_tags, generate_corpus
@@ -101,7 +102,7 @@ class FuzzConfig:
 
     iterations: int = 500
     seed: int = 0
-    #: Run the four explainers on every k-th sanitizer-clean graph.
+    #: Run the five explainers on every k-th sanitizer-clean graph.
     explain_every: int = 25
     #: Directory crash repros are persisted to (None = in-memory only).
     out_dir: str | Path | None = None
@@ -318,6 +319,7 @@ class _Harness:
                 expansion_width=2,
                 seed=seed,
             ),
+            CFExplainer(self.model, iterations=4, seed=seed),
         ]
 
     def forward(self, graph: ACFG) -> None:

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.acfg.graph import ACFG
 from repro.explain.base import ladder_from_order
-from repro.explain.explanation import Explanation
+from repro.explain.explanation import Explanation, kept_count
 
 __all__ = ["LiftMap", "PRUNED"]
 
@@ -195,9 +195,7 @@ class LiftMap:
         Cheaper than :meth:`lift_explanation` when only the kept set is
         needed (the ground-truth motif metric).
         """
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        count = max(1, int(round(fraction * self.original_n)))
+        count = kept_count(fraction, self.original_n)
         return self.lift_order(explanation.node_order)[:count]
 
     # ------------------------------------------------------------------

@@ -93,6 +93,13 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     # Stability metrics are bounded in [0, 1]: gate on absolute drops.
     MetricPolicy("*.jaccard", "higher", 0.15, mode="absolute"),
     MetricPolicy("*.spearman", "higher", 0.20, mode="absolute"),
+    # Counterfactual metrics are likewise [0, 1]-bounded rates over a
+    # small per-family sample (granularity ~1/families), so the gates
+    # tolerate a couple of graphs moving before tripping.
+    MetricPolicy("*.sufficiency", "higher", 0.25, mode="absolute"),
+    MetricPolicy("*.necessity", "higher", 0.25, mode="absolute"),
+    MetricPolicy("*.edit_size", "lower", 0.25, mode="absolute"),
+    MetricPolicy("*.flip_rate", "higher", 0.20, mode="absolute"),
     # Reduction lane: compression ratios are scale-free like speedups;
     # the accuracy cost of reducing is bounded absolutely.
     MetricPolicy("*compression", "higher", 0.30),

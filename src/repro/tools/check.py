@@ -339,7 +339,7 @@ def _run_fuzz_smoke(iterations: int = 500, seed: int = 0) -> bool:
 
     Drives ``iterations`` mutated listings through parser → CFG →
     features → sanitizer → GNN forward (every k-th survivor through all
-    four explainers); any crash, sanitizer miss, or non-finite output
+    five explainers); any crash, sanitizer miss, or non-finite output
     fails the gate and prints its minimized repro.
     """
     from repro.harden.fuzz import FuzzConfig, run_fuzz

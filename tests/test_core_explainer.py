@@ -10,6 +10,7 @@ from repro.core import (
     train_cfgexplainer,
 )
 from repro.core.model import NodeScorer, SurrogateClassifier
+from repro.explain.explanation import kept_count
 from repro.nn import Tensor
 
 
@@ -129,7 +130,7 @@ class TestAlgorithm2:
         for level in explanation.levels:
             kept = set(level.kept_nodes.tolist())
             assert previous <= kept
-            expected = max(1, int(round(level.fraction * graph.n_real)))
+            expected = kept_count(level.fraction, graph.n_real)
             assert len(kept) == expected
             previous = kept
 

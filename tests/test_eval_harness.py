@@ -45,6 +45,7 @@ class TestPipeline:
             "GNNExplainer",
             "SubgraphX",
             "PGExplainer",
+            "CFExplainer",
         }
         assert 0.0 <= artifacts.gnn_test_accuracy <= 1.0
 
@@ -54,6 +55,7 @@ class TestPipeline:
         assert offline["PGExplainer"] > 0
         assert offline["GNNExplainer"] == 0.0
         assert offline["SubgraphX"] == 0.0
+        assert offline["CFExplainer"] == 0.0
 
     def test_sample_lookup(self, artifacts):
         graph = artifacts.test_set.graphs[0]

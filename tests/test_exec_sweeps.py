@@ -17,6 +17,7 @@ TINY = ExperimentConfig(
     pgexplainer_epochs=1,
     subgraphx_iterations=2,
     subgraphx_shapley_samples=1,
+    cfexplainer_iterations=8,
     step_size=20,
 )
 

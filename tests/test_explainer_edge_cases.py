@@ -12,6 +12,7 @@ from repro.baselines import (
     SubgraphXBaseline,
 )
 from repro.core import CFGExplainer, interpret
+from repro.explain import CFExplainer
 
 
 def edgeless_graph(n=6, n_real=3):
@@ -33,6 +34,7 @@ def all_ranking_explainers(trained_gnn):
         SubgraphXBaseline(trained_gnn, mcts_iterations=3, shapley_samples=2),
         RandomExplainer(trained_gnn),
         DegreeExplainer(trained_gnn),
+        CFExplainer(trained_gnn, iterations=5),
     ]
 
 
