@@ -1,0 +1,103 @@
+"""Chaos lane: the serving SLO sweep under a committed fault plan.
+
+Same trained stack and closed-loop workload as the serving lane
+(:mod:`test_bench_serving`), but every daemon runs under
+``benchmarks/fault_plans/chaos_default.json`` — nonzero fault
+probability (exception / latency spike / non-finite output) at each of
+the five stage boundaries.  Because fault decisions are pure functions
+of ``(seed, stage, request key, attempt)``, two runs inject the same
+faults into the same request multiset; only breaker timing varies.
+
+Writes ``BENCH_chaos.json`` (repo root or ``$REPRO_BENCH_DIR``) with
+per-level availability, degraded-response rate, typed-response rate,
+latency percentiles under faults, and breaker trip/recovery counts.
+``repro.tools.bench_compare`` gates availability / degraded-rate
+absolutely and the typed-response rate hard at 1.0 — an unhandled
+exception escaping ``submit`` under chaos fails CI.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+from conftest import bench_artifact_path
+
+from repro.acfg import ACFGDataset, FeatureScaler, train_test_split
+from repro.acfg.graph import from_sample
+from repro.core import CFGExplainer, CFGExplainerModel, train_cfgexplainer
+from repro.gnn import GCNClassifier, train_gnn
+from repro.malgen import generate_corpus
+from repro.resilience import FaultPlan
+from repro.serve import InferenceEngine, run_chaos_benchmark
+
+ARTIFACT_NAME = "BENCH_chaos.json"
+PLAN_PATH = Path(__file__).resolve().parent / "fault_plans" / "chaos_default.json"
+
+SAMPLES_PER_FAMILY = 2
+SEED = 9
+LEVELS = (1, 2, 4)
+REQUESTS_PER_CLIENT = 24
+UNIQUE_GRAPHS = 6
+
+
+def _build_engine(corpus) -> InferenceEngine:
+    dataset = ACFGDataset.from_corpus(corpus)
+    train, _ = train_test_split(dataset, test_fraction=0.25, seed=0)
+    scaler = FeatureScaler().fit(list(train))
+    scaled = train.scaled(scaler)
+    gnn = GCNClassifier(hidden=(32, 24, 16), rng=np.random.default_rng(0))
+    train_gnn(gnn, scaled, epochs=40, batch_size=16, lr=0.005, seed=0)
+    theta = CFGExplainerModel(
+        gnn.embedding_size, scaled.num_classes, rng=np.random.default_rng(1)
+    )
+    train_cfgexplainer(
+        theta, gnn, scaled, num_epochs=120, minibatch_size=16, lr=0.003, seed=0
+    )
+    return InferenceEngine(
+        gnn=gnn,
+        scaler=scaler,
+        explainers={"CFGExplainer": CFGExplainer(gnn, theta)},
+        families=dataset.families,
+    )
+
+
+def test_bench_chaos():
+    plan = FaultPlan.load(PLAN_PATH)
+    assert not plan.empty
+    for spec in plan.stages.values():
+        assert spec.error + spec.latency + spec.nonfinite > 0
+
+    corpus = generate_corpus(SAMPLES_PER_FAMILY, seed=SEED)
+    engine = _build_engine(corpus)
+    graphs = [from_sample(sample) for sample in corpus[:UNIQUE_GRAPHS]]
+
+    report = run_chaos_benchmark(
+        engine,
+        graphs,
+        plan,
+        levels=LEVELS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+    )
+    bench_artifact_path(ARTIFACT_NAME).write_text(json.dumps(report, indent=2) + "\n")
+
+    assert report["workload"]["fault_plan_fingerprint"] == plan.fingerprint()
+    print()
+    for level in LEVELS:
+        row = report["chaos"][f"concurrency_{level}"]
+        print(
+            f"concurrency {level}:  avail {row['availability']:.3f}"
+            f"  degraded {row['degraded_rate']:.3f}"
+            f"  p99 {row['latency_p99_ms']:8.2f} ms"
+            f"  faults {row['faults_injected']}"
+            f"  trips {row['breaker_trips']}"
+            f"  recoveries {row['breaker_recoveries']}"
+        )
+        # The resilience contract: every request gets a typed answer —
+        # full, degraded, or typed rejection — even under faults.
+        assert row["typed_response_rate"] == 1.0
+        assert row["unhandled"] == 0
+        assert row["completed"] == level * REQUESTS_PER_CLIENT
+        # The plan is aggressive enough that chaos actually happened.
+        assert row["faults_injected"] > 0
+        assert 0.0 <= row["availability"] <= 1.0
+        assert row["availability"] + row["degraded_rate"] >= 0.99

@@ -281,6 +281,7 @@ def ingest_sample(
     policy: IngestPolicy,
     graph: ACFG | None = None,
     skip_cfg_checks: bool = False,
+    stage_hook=None,
 ) -> SampleIngest:
     """One submission through the same path, with collecting semantics.
 
@@ -295,6 +296,14 @@ def ingest_sample(
     submissions that arrive as bare ACFGs with no recovered CFG
     attached: sanitizer CFG checks and the verifier need instructions,
     so only the ACFG-level checks run.
+
+    ``stage_hook(stage)`` is the resilience seam: called at each stage
+    *boundary* — ``"sanitize"``, ``"verify"``, ``"reduce"`` — before the
+    stage's own error handling, and unconditionally (even when the
+    policy skips the stage) so deadlines and injected faults see every
+    boundary.  Whatever it raises propagates to the caller untouched:
+    an injected fault must look like an infrastructure failure (retry,
+    degrade), never like a hostile-input verdict (quarantine).
     """
     from repro.harden.sanitize import GraphSanitizer, QuarantineRecord
 
@@ -303,6 +312,8 @@ def ingest_sample(
     result = SampleIngest(sample=sample, graph=None)
     sanitizer = policy.sanitizer or GraphSanitizer()
 
+    if stage_hook is not None:
+        stage_hook("sanitize")
     if policy.on_bad_input is not None:
         if skip_cfg_checks:
             graph = prebuilt
@@ -336,6 +347,8 @@ def ingest_sample(
     else:
         graph = prebuilt if prebuilt is not None else from_sample(sample)
 
+    if stage_hook is not None:
+        stage_hook("verify")
     if policy.verify is not None and not skip_cfg_checks:
         from repro.staticcheck import Severity, verify_sample
 
@@ -358,6 +371,8 @@ def ingest_sample(
                 return result
 
     result.original = graph
+    if stage_hook is not None:
+        stage_hook("reduce")
     if policy.reduce is not None and graph is not None:
         try:
             graphs, lift_maps, _ = _reduce_many(

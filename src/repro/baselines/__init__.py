@@ -10,10 +10,12 @@ All three are implemented from their original papers' descriptions:
   subgraphs scored with Shapley values (Yuan et al., ICML 2021).
 
 Plus two sanity baselines (random and degree ordering) used by the
-ablation benchmarks.
+ablation benchmarks, and the cheap gradient-saliency explainer the
+serving degradation ladder falls back to.
 """
 
 from repro.baselines.gnnexplainer import GNNExplainerBaseline
+from repro.baselines.gradient import GradientExplainer
 from repro.baselines.pgexplainer import PGExplainerBaseline
 from repro.baselines.simple import DegreeExplainer, RandomExplainer
 from repro.baselines.subgraphx import SubgraphXBaseline
@@ -24,4 +26,5 @@ __all__ = [
     "SubgraphXBaseline",
     "RandomExplainer",
     "DegreeExplainer",
+    "GradientExplainer",
 ]

@@ -73,16 +73,23 @@ class TaskFailure:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential backoff.
+    """Bounded retry with exponential backoff and deterministic jitter.
 
     ``max_retries`` counts attempts *beyond* the first; a policy of 1
-    means a task runs at most twice.  The delay before retrying attempt
-    ``n+1`` is ``backoff_seconds * backoff_factor ** (n - 1)``.
+    means a task runs at most twice.  The base delay before retrying
+    attempt ``n+1`` is ``backoff_seconds * backoff_factor ** (n - 1)``;
+    with ``jitter`` > 0 the delay is scaled by a factor drawn from
+    ``[1 - jitter, 1 + jitter]``.  The draw is a hash of the task key
+    and attempt index, not a PRNG, so retry schedules are reproducible
+    while still decorrelating concurrent retriers (no thundering herd
+    after a shared-dependency blip).
     """
 
     max_retries: int = 1
     backoff_seconds: float = 0.5
     backoff_factor: float = 2.0
+    #: Fractional jitter half-width in [0, 1); 0 keeps exact backoff.
+    jitter: float = 0.0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -91,9 +98,25 @@ class RetryPolicy:
             raise ValueError("backoff_seconds cannot be negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
 
-    def delay(self, failed_attempts: int) -> float:
-        """Seconds to wait before the next attempt."""
+    def delay(self, failed_attempts: int, key: str | None = None) -> float:
+        """Seconds to wait before the next attempt.
+
+        ``key`` feeds the jitter draw; omitted (or with ``jitter=0``)
+        the delay is the exact exponential schedule, preserving the
+        behaviour existing scheduler callers rely on.
+        """
         if failed_attempts <= 0:
             return 0.0
-        return self.backoff_seconds * self.backoff_factor ** (failed_attempts - 1)
+        base = self.backoff_seconds * self.backoff_factor ** (failed_attempts - 1)
+        if self.jitter == 0.0 or key is None:
+            return base
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"retry:{key}:{failed_attempts}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * unit)

@@ -104,6 +104,9 @@ class FuzzConfig:
     seed: int = 0
     #: Run the five explainers on every k-th sanitizer-clean graph.
     explain_every: int = 25
+    #: Route every k-th sanitizer-clean sample through the serving path
+    #: (:meth:`repro.serve.InferenceEngine.submit`) as well.
+    serve_every: int = 10
     #: Directory crash repros are persisted to (None = in-memory only).
     out_dir: str | Path | None = None
     #: Extra seed listings (e.g. ``tests/data/hostile``), ``*.asm`` files.
@@ -120,7 +123,7 @@ class CrashRepro:
 
     seed: int
     iteration: int
-    stage: str  # parse | cfg | acfg | sanitize | reduce | forward | explain
+    stage: str  # parse | cfg | acfg | sanitize | reduce | forward | explain | serve
     error_type: str
     message: str
     text: str  # minimized assembly listing ("" for payload-only crashes)
@@ -149,6 +152,7 @@ class FuzzReport:
     reduced: int = 0
     forwards: int = 0
     explained: int = 0
+    served: int = 0
     crashes: list[CrashRepro] = field(default_factory=list)
 
     @property
@@ -168,6 +172,7 @@ class FuzzReport:
             "reduced": self.reduced,
             "forwards": self.forwards,
             "explained": self.explained,
+            "served": self.served,
             "crashes": [c.to_dict() for c in self.crashes],
             "ok": self.ok,
         }
@@ -177,7 +182,8 @@ class FuzzReport:
             f"fuzz: {self.iterations} iteration(s) — {self.parsed} parsed, "
             f"{self.quarantined} quarantined, {self.reduced} reduced, "
             f"{self.forwards} forward passes, "
-            f"{self.explained} explained, {len(self.crashes)} crash(es)"
+            f"{self.explained} explained, {self.served} served, "
+            f"{len(self.crashes)} crash(es)"
         ]
         for key, count in sorted(self.rejected.items()):
             lines.append(f"  rejected {key:<32} {count}")
@@ -321,6 +327,22 @@ class _Harness:
             ),
             CFExplainer(self.model, iterations=4, seed=seed),
         ]
+        # The serving front door over the same model stack, so mutated
+        # inputs also fuzz sanitize→verify→classify→explain behind
+        # InferenceEngine.submit.  Gradient saliency as the default
+        # explainer keeps per-submission cost at one forward+backward.
+        from repro.acfg import FeatureScaler
+        from repro.baselines.gradient import GradientExplainer
+        from repro.serve import InferenceEngine
+
+        scaler = FeatureScaler().fit(list(fit_set))
+        self.engine = InferenceEngine(
+            gnn=self.model,
+            scaler=scaler,
+            explainers={"Gradient": GradientExplainer(self.model)},
+            families=tuple(fit_set.families),
+            default_explainer="Gradient",
+        )
 
     def forward(self, graph: ACFG) -> None:
         with no_grad():
@@ -337,6 +359,18 @@ class _Harness:
                 raise AssertionError(
                     f"{explainer.name} produced non-finite node scores"
                 )
+
+    def serve(self, sample: LabeledSample) -> None:
+        """One submission through the serving path; typed rejection or a
+        finite response, never a crash."""
+        response = self.engine.submit(sample)
+        probabilities = np.asarray(response.probabilities, dtype=float)
+        if not np.all(np.isfinite(probabilities)):
+            raise AssertionError(
+                f"serving produced non-finite probabilities: {probabilities!r}"
+            )
+        if response.explanation is None:
+            raise AssertionError("serving returned no explanation")
 
 
 def _seed_pool(config: FuzzConfig) -> list[str]:
@@ -494,6 +528,20 @@ def _drive_one(
         except Exception as error:  # noqa: BLE001
             return crash("explain", error)
         report.explained += 1
+
+    # 8. serving path (every k-th clean survivor): the front door must
+    # answer with a typed rejection or a finite response.
+    if (report.forwards - 1) % config.serve_every == 0:
+        from repro.serve import RequestRejected
+
+        try:
+            harness.serve(sample)
+        except (RequestRejected, *HANDLED_ERRORS) as error:
+            report.note_rejection("serve", error)
+            return None
+        except Exception as error:  # noqa: BLE001
+            return crash("serve", error)
+        report.served += 1
     return None
 
 

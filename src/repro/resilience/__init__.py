@@ -1,0 +1,42 @@
+"""Serving resilience: deadlines, fault injection, breakers, degradation.
+
+The package is deliberately engine-agnostic — nothing here imports
+:mod:`repro.serve`.  The serve layer consumes these primitives; chaos
+benchmarks and `repro-check --chaos` drive them through a committed
+:class:`FaultPlan` so "the daemon survives faults" is a regression-gated
+metric rather than an assumption.
+"""
+
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    SERVING_STAGES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_array,
+)
+from repro.resilience.runner import (
+    DEGRADATION_REASONS,
+    ResilienceConfig,
+    failure_kind,
+)
+
+__all__ = [
+    "BREAKER_STATES",
+    "DEGRADATION_REASONS",
+    "FAULT_KINDS",
+    "SERVING_STAGES",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceConfig",
+    "corrupt_array",
+    "failure_kind",
+]

@@ -1,0 +1,106 @@
+"""Per-stage circuit breakers for the serving path.
+
+A poisoned stage (kernel regression, corrupted model file, dependency
+outage) makes *every* request fail; bounded retries then multiply the
+damage — each doomed request burns ``1 + max_retries`` attempts before
+degrading.  A :class:`CircuitBreaker` watches consecutive failures per
+stage and, once ``failure_threshold`` is reached, **opens**: requests
+short-circuit straight to the next degradation rung without touching
+the stage.  After ``cooldown_ms`` the breaker goes **half-open** and
+admits exactly one probe; a successful probe closes the breaker, a
+failed one re-opens it for another cooldown.
+
+State transitions emit ``resilience.breaker.<stage>.*`` counters so a
+chaos run can assert breakers actually tripped and recovered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import add_counter
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker"]
+
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe. Thread-safe."""
+
+    def __init__(
+        self,
+        stage: str,
+        failure_threshold: int = 5,
+        cooldown_ms: float = 250.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_ms <= 0:
+            raise ValueError("cooldown_ms must be positive")
+        self.stage = stage
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request enter the stage right now?
+
+        In ``half_open`` exactly one caller gets ``True`` (the probe);
+        everyone else keeps short-circuiting until the probe resolves.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+                if elapsed_ms < self.cooldown_ms:
+                    add_counter(f"resilience.breaker.{self.stage}.short_circuit")
+                    return False
+                self._state = "half_open"
+                self._probe_in_flight = False
+                add_counter(f"resilience.breaker.{self.stage}.half_open")
+            # half_open: admit one probe
+            if self._probe_in_flight:
+                add_counter(f"resilience.breaker.{self.stage}.short_circuit")
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != "closed":
+                self._state = "closed"
+                add_counter(f"resilience.breaker.{self.stage}.recover")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == "half_open":
+                # Failed probe: back to a full cooldown.
+                self._state = "open"
+                self._opened_at = self._clock()
+                add_counter(f"resilience.breaker.{self.stage}.reopen")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                add_counter(f"resilience.breaker.{self.stage}.trip")

@@ -1,0 +1,65 @@
+"""Per-request deadlines for the serving path.
+
+A :class:`Deadline` is an absolute ``time.monotonic()`` expiry carried
+on a request from admission to explanation.  Every stage boundary calls
+:meth:`Deadline.check` so a request that has already blown its budget
+stops consuming compute at the *next* boundary instead of running the
+remaining stages to completion, and the daemon drops expired tickets
+from the batch queue instead of executing them.
+
+The deadline is a wall-budget, not a preemption mechanism: a stage that
+is already running is never interrupted (the model stages share caches
+on one thread and cannot be safely killed), it simply becomes the last
+stage that runs for that request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's deadline expired at a stage boundary.
+
+    ``stage`` names the boundary that refused to start; ``budget_ms``
+    is the original request budget.
+    """
+
+    def __init__(self, stage: str, budget_ms: float):
+        super().__init__(
+            f"deadline ({budget_ms:.0f} ms budget) expired before stage "
+            f"{stage!r}"
+        )
+        self.stage = stage
+        self.budget_ms = budget_ms
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry on the monotonic clock, with its budget."""
+
+    expires_at: float
+    budget_ms: float
+
+    @classmethod
+    def after_ms(cls, budget_ms: float) -> "Deadline":
+        if budget_ms <= 0:
+            raise ValueError("deadline budget must be positive")
+        return cls(expires_at=time.monotonic() + budget_ms / 1000.0,
+                   budget_ms=float(budget_ms))
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left; never negative."""
+        return max(0.0, (self.expires_at - time.monotonic()) * 1000.0)
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(stage, self.budget_ms)

@@ -1,0 +1,226 @@
+"""Deterministic fault injection for the serving stage boundaries.
+
+A :class:`FaultPlan` assigns each :class:`InferenceEngine
+<repro.serve.engine.InferenceEngine>` stage — sanitize, verify, reduce,
+classify, explain — a :class:`FaultSpec`: independent probabilities of
+an injected exception, a latency spike, or a non-finite output.  The
+:class:`FaultInjector` turns the plan into *reproducible* decisions: a
+fault fires iff a hash of ``(seed, stage, request key, attempt)`` lands
+under the configured probability, so two chaos runs over the same
+request multiset inject exactly the same faults regardless of thread
+interleaving, and a retried attempt re-rolls deterministically (the
+attempt index is part of the key — injected faults are transient by
+construction, like the real failures they model).
+
+Plans are plain JSON (``FaultPlan.load``/``save``) so a chaos lane can
+commit its plan next to the benchmark baselines, and
+:meth:`FaultPlan.fingerprint` names the exact plan a ``BENCH_chaos``
+artifact was produced under.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs import add_counter
+
+__all__ = [
+    "FAULT_KINDS",
+    "SERVING_STAGES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+]
+
+#: What an injected fault can do at a stage boundary: raise a typed
+#: exception, stall the stage (latency spike), or corrupt the stage's
+#: output with non-finite values (which the serving finiteness guards
+#: must convert into a typed :class:`~repro.nn.NumericalError`).
+FAULT_KINDS = ("error", "latency", "nonfinite")
+
+#: The engine's stage boundaries, in request order.
+SERVING_STAGES = ("sanitize", "verify", "reduce", "classify", "explain")
+
+
+class InjectedFault(RuntimeError):
+    """The exception an ``error``-kind injected fault raises.
+
+    Deliberately *not* one of the domain's typed errors: the resilience
+    layer must degrade gracefully on exception types it has never seen,
+    exactly like a real bug would produce.
+    """
+
+    def __init__(self, stage: str, key: str, attempt: int):
+        super().__init__(
+            f"injected fault at stage {stage!r} (key={key!r}, attempt={attempt})"
+        )
+        self.stage = stage
+        self.key = key
+        self.attempt = attempt
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-stage fault probabilities (independent draws, one per kind)."""
+
+    error: float = 0.0
+    latency: float = 0.0
+    nonfinite: float = 0.0
+    #: Duration of an injected latency spike.
+    latency_ms: float = 25.0
+
+    def __post_init__(self):
+        for name in ("error", "latency", "nonfinite"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1]")
+        if self.latency_ms < 0:
+            raise ValueError("latency_ms cannot be negative")
+        if self.error + self.latency + self.nonfinite > 1.0:
+            raise ValueError("stage fault probabilities sum past 1.0")
+
+    def to_dict(self) -> dict:
+        return {
+            "error": self.error,
+            "latency": self.latency,
+            "nonfinite": self.nonfinite,
+            "latency_ms": self.latency_ms,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable assignment of fault specs to stages."""
+
+    seed: int = 0
+    stages: Mapping[str, FaultSpec] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for stage in self.stages:
+            if stage not in SERVING_STAGES:
+                raise ValueError(
+                    f"unknown stage {stage!r}; expected one of {SERVING_STAGES}"
+                )
+        object.__setattr__(self, "stages", dict(self.stages))
+
+    @property
+    def empty(self) -> bool:
+        """True when no stage can ever fault under this plan."""
+        return all(
+            spec.error == spec.latency == spec.nonfinite == 0.0
+            for spec in self.stages.values()
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "stages": {
+                stage: self.stages[stage].to_dict()
+                for stage in sorted(self.stages)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultPlan":
+        stages = {
+            stage: FaultSpec(**spec)
+            for stage, spec in dict(payload.get("stages", {})).items()
+        }
+        return cls(seed=int(payload.get("seed", 0)), stages=stages)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def fingerprint(self) -> str:
+        """Stable content hash naming this exact plan in artifacts."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _draw(seed: int, stage: str, key: str, attempt: int) -> float:
+    """A uniform [0, 1) value fully determined by the decision identity."""
+    digest = hashlib.sha256(
+        f"{seed}:{stage}:{key}:{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` at stage boundaries, deterministically.
+
+    :meth:`fire` is the single entry point: it raises
+    :class:`InjectedFault` for ``error`` faults, sleeps for ``latency``
+    faults, and returns ``"nonfinite"`` when the caller must corrupt the
+    stage's output (admission stages, which have no array output, get a
+    raised :class:`~repro.nn.NumericalError` instead via
+    ``has_output=False``).  Thread-safe by virtue of being stateless —
+    every decision is a pure function of the plan and the call identity.
+    """
+
+    def __init__(self, plan: FaultPlan, sleep=time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+
+    def decide(self, stage: str, key: str, attempt: int = 0) -> str | None:
+        """Which fault (if any) fires for this exact stage visit."""
+        spec = self.plan.stages.get(stage)
+        if spec is None:
+            return None
+        u = _draw(self.plan.seed, stage, key, attempt)
+        if u < spec.error:
+            return "error"
+        if u < spec.error + spec.latency:
+            return "latency"
+        if u < spec.error + spec.latency + spec.nonfinite:
+            return "nonfinite"
+        return None
+
+    def fire(
+        self, stage: str, key: str, attempt: int = 0, has_output: bool = True
+    ) -> str | None:
+        """Apply the decided fault; returns ``"nonfinite"`` or ``None``.
+
+        A returned ``"nonfinite"`` asks the caller to corrupt the
+        stage's output (see :func:`corrupt_array`); ``error`` raises
+        here, ``latency`` sleeps here.
+        """
+        kind = self.decide(stage, key, attempt)
+        if kind is None:
+            return None
+        add_counter(f"resilience.fault.{stage}.{kind}")
+        if kind == "error":
+            raise InjectedFault(stage, key, attempt)
+        if kind == "latency":
+            spec = self.plan.stages[stage]
+            self._sleep(spec.latency_ms / 1000.0)
+            return None
+        if not has_output:
+            from repro.nn import NumericalError
+
+            raise NumericalError(
+                f"{stage} output", f"injected non-finite (key={key!r})"
+            )
+        return "nonfinite"
+
+
+def corrupt_array(array):
+    """A NaN-poisoned copy of ``array`` (the ``nonfinite`` fault payload)."""
+    import numpy as np
+
+    poisoned = np.array(array, dtype=float, copy=True)
+    flat = poisoned.reshape(-1)
+    if flat.size:
+        flat[0] = np.nan
+    return poisoned

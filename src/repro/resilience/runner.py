@@ -1,0 +1,91 @@
+"""Shared resilience configuration and failure typing for serving.
+
+:class:`ResilienceConfig` bundles the knobs the daemon threads through
+the request path: the per-request deadline budget, the bounded retry
+policy for transient stage faults (reusing :class:`repro.exec.tasks
+.RetryPolicy`, now with deterministic jitter), circuit-breaker
+parameters, and the explainer degradation ladder.
+
+:func:`failure_kind` maps an exception onto the typed-degradation
+vocabulary :data:`repro.exec.tasks.FAILURE_KINDS` already established
+for the batch scheduler, so a `DegradedResponse` from serving and a
+`TaskFailure` from sweeps speak the same language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exec.tasks import FAILURE_KINDS, RetryPolicy
+from repro.resilience.deadline import DeadlineExceeded
+
+__all__ = ["DEGRADATION_REASONS", "ResilienceConfig", "failure_kind"]
+
+#: The typed reasons a :class:`~repro.serve.engine.DegradedResponse`
+#: can carry.  ``explainer_fallback`` — the requested explainer failed
+#: but a ladder rung below it succeeded (response still has an
+#: explanation); ``classification_only`` — every rung failed, only the
+#: class probabilities are real; ``deadline`` — the request budget
+#: expired before completion; ``breaker_open`` — a tripped circuit
+#: breaker shed the request without running the stage; ``unavailable``
+#: — an admission or classify stage failed persistently, nothing in
+#: the response beyond the typed error is meaningful.
+DEGRADATION_REASONS = (
+    "explainer_fallback",
+    "classification_only",
+    "deadline",
+    "breaker_open",
+    "unavailable",
+)
+
+
+def failure_kind(error: BaseException) -> str:
+    """Map an exception to one of :data:`FAILURE_KINDS`.
+
+    Deadline expiry is a ``timeout``; everything else a request thread
+    can observe is an ``exception`` (``crash`` is reserved for process
+    death, which the in-process serving path cannot survive to report).
+    """
+    if isinstance(error, DeadlineExceeded):
+        return "timeout"
+    return "exception"
+
+
+def _default_retry() -> RetryPolicy:
+    # Serving-scale backoff: milliseconds, not the scheduler's seconds.
+    return RetryPolicy(
+        max_retries=2, backoff_seconds=0.005, backoff_factor=2.0, jitter=0.5
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the daemon needs to degrade instead of fail."""
+
+    #: Per-request wall budget; ``None`` disables deadline enforcement.
+    deadline_ms: float | None = None
+    #: Bounded retry for transient stage faults.
+    retry: RetryPolicy = field(default_factory=_default_retry)
+    #: Consecutive failures before a stage's breaker opens.
+    breaker_threshold: int = 5
+    #: How long an open breaker sheds load before its half-open probe.
+    breaker_cooldown_ms: float = 250.0
+    #: Explainer ladder below the requested explainer; names not
+    #: present on the engine are skipped.  The final rung —
+    #: classification-only — is implicit and always available.
+    fallback_explainers: tuple[str, ...] = ("Gradient",)
+
+    def __post_init__(self):
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive when set")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown_ms <= 0:
+            raise ValueError("breaker_cooldown_ms must be positive")
+        object.__setattr__(
+            self, "fallback_explainers", tuple(self.fallback_explainers)
+        )
+
+
+# Re-exported so resilience users need not import repro.exec directly.
+_ = FAILURE_KINDS

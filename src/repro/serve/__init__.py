@@ -24,16 +24,23 @@ bench`` produces the benchmark artifact.  See DESIGN.md §Serving.
 
 from repro.serve.daemon import DaemonConfig, ExplanationCache, ServeDaemon
 from repro.serve.engine import (
+    DegradedResponse,
     EngineResponse,
     InferenceEngine,
     PreparedRequest,
     RequestRejected,
     submission_from_text,
 )
-from repro.serve.loadgen import LoadResult, run_closed_loop, run_slo_benchmark
+from repro.serve.loadgen import (
+    LoadResult,
+    run_chaos_benchmark,
+    run_closed_loop,
+    run_slo_benchmark,
+)
 
 __all__ = [
     "DaemonConfig",
+    "DegradedResponse",
     "EngineResponse",
     "ExplanationCache",
     "InferenceEngine",
@@ -41,6 +48,7 @@ __all__ = [
     "PreparedRequest",
     "RequestRejected",
     "ServeDaemon",
+    "run_chaos_benchmark",
     "run_closed_loop",
     "run_slo_benchmark",
     "submission_from_text",

@@ -25,7 +25,9 @@ import numpy as np
 
 from repro.acfg import ACFG, FeatureScaler, IngestPolicy, ingest_sample
 from repro.malgen.corpus import LabeledSample, block_motif_tags
+from repro.nn.guards import NumericalError, assert_finite_array
 from repro.obs import add_counter, fingerprint_graph
+from repro.resilience import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.explain.base import Explainer
@@ -35,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.reduce import LiftMap
 
 __all__ = [
+    "DegradedResponse",
     "EngineResponse",
     "InferenceEngine",
     "PreparedRequest",
@@ -104,6 +107,9 @@ class PreparedRequest:
     fingerprint: str
     original: ACFG | None = None
     lift: "LiftMap | None" = None
+    #: Per-request wall budget, checked at every downstream stage
+    #: boundary; ``None`` means unbounded (the pre-resilience default).
+    deadline: Deadline | None = None
 
 
 @dataclass
@@ -119,6 +125,36 @@ class EngineResponse:
     explanation: "Explanation"
     #: True when the response was served from the explanation cache.
     cached: bool = False
+
+
+@dataclass
+class DegradedResponse(EngineResponse):
+    """A response the resilience layer salvaged instead of failing.
+
+    Same shape as :class:`EngineResponse` — callers that only read the
+    classification fields need no branch — plus the typed degradation
+    record.  ``degradation_reason`` is one of
+    :data:`repro.resilience.DEGRADATION_REASONS`; ``explanation`` is
+    a real (fallback-explainer) explanation for ``explainer_fallback``
+    and ``None`` for every deeper rung; for ``unavailable`` even the
+    classification fields are placeholders (``predicted_class == -1``).
+    """
+
+    explanation: "Explanation | None" = None
+    degradation_reason: str = "unavailable"
+    #: Stage whose failure caused the degradation.
+    failed_stage: str = ""
+    #: One of :data:`repro.exec.tasks.FAILURE_KINDS`.
+    failure_kind: str = "exception"
+    detail: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
+
+# Non-degraded responses answer False so callers can branch uniformly.
+EngineResponse.degraded = property(lambda self: False)
 
 
 class InferenceEngine:
@@ -144,6 +180,12 @@ class InferenceEngine:
         self.gnn = gnn
         self.scaler = scaler
         self.explainers = dict(explainers)
+        if "Gradient" not in self.explainers:
+            # Every engine carries the cheap saliency explainer so the
+            # resilience ladder always has a rung below the heavy ones.
+            from repro.baselines.gradient import GradientExplainer
+
+            self.explainers["Gradient"] = GradientExplainer(gnn)
         self.families = tuple(families)
         #: Serving always sanitizes: the front door faces untrusted
         #: input, so a policy of ``on_bad_input=None`` is upgraded to
@@ -192,7 +234,11 @@ class InferenceEngine:
     # admission (safe from any thread)
     # ------------------------------------------------------------------
     def admit(
-        self, sample: LabeledSample, graph: ACFG | None = None
+        self,
+        sample: LabeledSample,
+        graph: ACFG | None = None,
+        deadline: Deadline | None = None,
+        stage_hook=None,
     ) -> PreparedRequest:
         """Run sanitize → verify → reduce and prepare a model-ready graph.
 
@@ -201,8 +247,25 @@ class InferenceEngine:
         other fatal finding (hostile structure, NaN features, invariant
         violations, failed construction/reduction).  A prebuilt
         ``graph`` serves bare-ACFG submissions (ACFG-level checks only).
+
+        ``deadline`` is carried onto the returned request and checked at
+        each admission stage boundary (raising
+        :class:`~repro.resilience.DeadlineExceeded`); ``stage_hook`` is
+        the resilience seam forwarded to
+        :func:`~repro.acfg.ingest_sample` — whatever it raises (e.g. an
+        injected fault) propagates untouched, distinct from the typed
+        :class:`RequestRejected` verdicts.
         """
-        result = ingest_sample(sample, self.policy, graph=graph)
+        if deadline is None and stage_hook is None:
+            hook = None
+        else:
+            def hook(stage: str) -> None:
+                if deadline is not None:
+                    deadline.check(stage)
+                if stage_hook is not None:
+                    stage_hook(stage)
+
+        result = ingest_sample(sample, self.policy, graph=graph, stage_hook=hook)
         if not result.ok:
             reason = "quarantine"
             detail = "fatal ingestion finding"
@@ -220,6 +283,7 @@ class InferenceEngine:
             fingerprint=fingerprint,
             original=result.original,
             lift=result.lift,
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -239,6 +303,10 @@ class InferenceEngine:
             probabilities = self.gnn.predict_proba_batch(
                 graphs, batch_size=self.batch_size
             )
+        # Surface kernel NaN/Inf as a typed NumericalError here, where
+        # the resilience layer can retry or degrade, instead of letting
+        # non-finite probabilities poison argmax/cache downstream.
+        assert_finite_array(probabilities, "serving class probabilities")
         add_counter("serve.classified", len(requests))
         return probabilities
 
@@ -261,8 +329,16 @@ class InferenceEngine:
         if lift is not None and not lift.is_identity:
             if original is None:
                 raise ValueError("a lifted explanation needs the original graph")
-            return implementation.explain_lifted(graph, original, lift, step_size=step)
-        return implementation.explain(graph, step_size=step)
+            explanation = implementation.explain_lifted(
+                graph, original, lift, step_size=step
+            )
+        else:
+            explanation = implementation.explain(graph, step_size=step)
+        if explanation.node_scores is not None:
+            assert_finite_array(
+                explanation.node_scores, "serving explanation scores"
+            )
+        return explanation
 
     def execute(
         self,

@@ -23,10 +23,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import metrics_registry
+from repro.resilience import FaultPlan, ResilienceConfig
 from repro.serve.daemon import DaemonConfig, ServeDaemon
 from repro.serve.engine import InferenceEngine, RequestRejected
 
-__all__ = ["LoadResult", "run_closed_loop", "run_slo_benchmark"]
+__all__ = [
+    "LoadResult",
+    "run_chaos_benchmark",
+    "run_closed_loop",
+    "run_slo_benchmark",
+]
 
 
 @dataclass
@@ -39,6 +46,12 @@ class LoadResult:
     cache_hits: int
     wall_seconds: float
     latencies_ms: list[float] = field(default_factory=list)
+    #: Typed :class:`~repro.serve.engine.DegradedResponse` count (chaos
+    #: runs; always 0 on an unfaulted daemon).
+    degraded: int = 0
+    #: Exceptions that escaped ``submit`` other than typed rejections.
+    #: The resilience contract is that this stays 0 even under faults.
+    unhandled: int = 0
 
     def percentile_ms(self, q: float) -> float:
         if not self.latencies_ms:
@@ -63,6 +76,40 @@ class LoadResult:
             "graphs_per_sec": round(self.graphs_per_sec, 2),
         }
 
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered with a *full* (non-degraded,
+        non-rejected, typed) response."""
+        if self.requests == 0:
+            return float("nan")
+        full = len(self.latencies_ms) - self.degraded
+        return full / self.requests
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.requests if self.requests else float("nan")
+
+    @property
+    def typed_response_rate(self) -> float:
+        """Fraction of requests that got *a typed answer* — full,
+        degraded, or typed rejection — rather than a raw exception."""
+        if self.requests == 0:
+            return float("nan")
+        return 1.0 - self.unhandled / self.requests
+
+    def to_chaos_dict(self) -> dict:
+        payload = self.to_dict()
+        payload.update(
+            {
+                "degraded": self.degraded,
+                "unhandled": self.unhandled,
+                "availability": round(self.availability, 4),
+                "degraded_rate": round(self.degraded_rate, 4),
+                "typed_response_rate": round(self.typed_response_rate, 4),
+            }
+        )
+        return payload
+
 
 def run_closed_loop(
     daemon: ServeDaemon,
@@ -70,6 +117,7 @@ def run_closed_loop(
     concurrency: int,
     requests_per_client: int,
     stride: int = 3,
+    tolerate_errors: bool = False,
 ) -> LoadResult:
     """``concurrency`` closed-loop clients, fixed deterministic schedule.
 
@@ -77,6 +125,11 @@ def run_closed_loop(
     :meth:`ServeDaemon.submit_graph`.  Backpressure rejections are
     counted, not fatal — a closed-loop client retries its request once
     admission frees up, which is what a well-behaved client does.
+
+    ``tolerate_errors`` (chaos runs) counts any non-rejection exception
+    escaping ``submit`` in ``LoadResult.unhandled`` instead of killing
+    the client thread — the resilience acceptance criterion is that
+    this count is exactly zero even under an aggressive fault plan.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be at least 1")
@@ -87,6 +140,8 @@ def run_closed_loop(
     latencies: list[list[float]] = [[] for _ in range(concurrency)]
     rejected = [0] * concurrency
     hits = [0] * concurrency
+    degraded = [0] * concurrency
+    unhandled = [0] * concurrency
 
     def client(index: int) -> None:
         barrier.wait()
@@ -102,10 +157,19 @@ def run_closed_loop(
                     rejected[index] += 1
                     time.sleep(0.001)
                     continue
+                except BaseException:
+                    if not tolerate_errors:
+                        raise
+                    unhandled[index] += 1
+                    response = None
                 break
+            if response is None:
+                continue
             latencies[index].append((time.perf_counter() - start) * 1000.0)
             if response.cached:
                 hits[index] += 1
+            if getattr(response, "degraded", False):
+                degraded[index] += 1
 
     threads = [
         threading.Thread(target=client, args=(k,), name=f"loadgen-{k}")
@@ -125,6 +189,8 @@ def run_closed_loop(
         cache_hits=sum(hits),
         wall_seconds=wall,
         latencies_ms=[value for per_client in latencies for value in per_client],
+        degraded=sum(degraded),
+        unhandled=sum(unhandled),
     )
 
 
@@ -160,4 +226,80 @@ def run_slo_benchmark(
             "explainer": engine.default_explainer,
         },
         "serving": results,
+    }
+
+
+def _resilience_delta(delta: dict) -> dict:
+    """Aggregate the breaker/fault/deadline counters one level emitted."""
+    def total(suffix: str, prefix: str = "resilience.breaker.") -> int:
+        return sum(
+            count for name, count in delta.items()
+            if name.startswith(prefix) and name.endswith(suffix)
+        )
+
+    return {
+        "faults_injected": sum(
+            count for name, count in delta.items()
+            if name.startswith("resilience.fault.")
+        ),
+        "breaker_trips": total(".trip"),
+        "breaker_recoveries": total(".recover"),
+        "breaker_short_circuits": total(".short_circuit"),
+        "deadline_dropped": int(delta.get("resilience.deadline.dropped", 0)),
+        "retries": sum(
+            count for name, count in delta.items()
+            if name.startswith("resilience.retry.")
+        ),
+    }
+
+
+def run_chaos_benchmark(
+    engine: InferenceEngine,
+    graphs,
+    plan: FaultPlan,
+    levels: tuple[int, ...] = (1, 2, 4),
+    requests_per_client: int = 12,
+    daemon_config: DaemonConfig | None = None,
+) -> dict:
+    """The SLO sweep under a committed :class:`FaultPlan`.
+
+    One fresh daemon (cold cache, closed breakers) per concurrency
+    level, injected faults at every stage boundary.  Returns the
+    ``BENCH_chaos.json`` payload: availability, degraded-response rate,
+    typed-response rate (must be 1.0 — the no-unhandled-exceptions
+    contract), fault-latency percentiles, and breaker trip/recovery
+    counts per level, plus the plan itself so the artifact names the
+    exact chaos it survived.
+    """
+    graphs = list(graphs)
+    if daemon_config is None:
+        daemon_config = DaemonConfig(
+            resilience=ResilienceConfig(deadline_ms=2000.0)
+        )
+    results: dict[str, dict] = {}
+    for level in levels:
+        daemon = ServeDaemon(engine, daemon_config, fault_plan=plan)
+        before = metrics_registry().snapshot()
+        with daemon:
+            result = run_closed_loop(
+                daemon, graphs, concurrency=level,
+                requests_per_client=requests_per_client,
+                tolerate_errors=True,
+            )
+        delta = metrics_registry().delta_since(before)
+        payload = result.to_chaos_dict()
+        payload.update(_resilience_delta(delta))
+        results[f"concurrency_{level}"] = payload
+    return {
+        "workload": {
+            "unique_graphs": len(graphs),
+            "nodes_per_graph": int(max(g.n_real for g in graphs)),
+            "requests_per_client": requests_per_client,
+            "levels": list(levels),
+            "explainer": engine.default_explainer,
+            "deadline_ms": daemon_config.resilience.deadline_ms,
+            "fault_plan": plan.to_dict(),
+            "fault_plan_fingerprint": plan.fingerprint(),
+        },
+        "chaos": results,
     }

@@ -83,6 +83,16 @@ class MetricPolicy:
 
 
 DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
+    # Chaos lane: the fault plan is committed alongside the baselines
+    # so the injected-fault multiset is identical run to run; what
+    # varies is breaker timing (wall-clock cooldowns), so the rate
+    # gates are absolute with room for a breaker-shed request or two.
+    # The typed-response rate is the hard resilience contract — any
+    # unhandled exception under chaos fails the gate outright.
+    MetricPolicy("chaos.*.typed_response_rate", "higher", 0.001, mode="absolute"),
+    MetricPolicy("chaos.*.availability", "higher", 0.15, mode="absolute"),
+    MetricPolicy("chaos.*.degraded_rate", "lower", 0.15, mode="absolute"),
+    MetricPolicy("chaos.*.graphs_per_sec", "higher", 0.60),
     # Serving throughput is measured over sub-second closed loops, so
     # run-to-run spread is much wider than the training benches'; the
     # first matching policy wins, so this looser gate must precede the

@@ -38,6 +38,12 @@ in order and the exit code is non-zero if any of them fails:
    wrapped in the :mod:`repro.serve` daemon (in process), one cold
    request and one repeat are served, and the repeat must be a cache
    hit bit-identical to the cold response.
+10. With ``--chaos``, a resilience smoke test: the daemon is driven
+    under a fault plan with nonzero probability at every stage — every
+    submission must come back typed (full or degraded, never a raw
+    exception), the circuit breaker must trip and recover, and with no
+    fault plan the daemon must be bit-identical to a direct
+    ``InferenceEngine.submit``.
 """
 
 from __future__ import annotations
@@ -334,6 +340,135 @@ def _run_serve_smoke() -> bool:
     return ok
 
 
+def _run_chaos_smoke() -> bool:
+    """Serving under an aggressive fault plan must stay typed end to end.
+
+    Two phases over a tiny untrained stack (cheap: gradient saliency
+    explainer, no training loops):
+
+    1. Chaos: a daemon under a plan with fault probability > 0 at every
+       stage serves the whole corpus twice.  Every submission must get
+       a typed response (full or ``DegradedResponse``) — never a raw
+       exception — and the per-stage circuit breaker must both trip
+       and recover at least once.
+    2. Identity: with no fault plan, the daemon's response must be
+       bit-identical to a direct ``engine.submit`` — the resilience
+       seam is free when inactive.
+    """
+    import numpy as np
+
+    from repro.acfg import ACFGDataset, FeatureScaler
+    from repro.baselines.gradient import GradientExplainer
+    from repro.gnn import GCNClassifier
+    from repro.malgen import generate_corpus
+    from repro.obs import metrics_registry
+    from repro.resilience import FaultPlan, FaultSpec, ResilienceConfig
+    from repro.serve import (
+        DaemonConfig,
+        InferenceEngine,
+        RequestRejected,
+        ServeDaemon,
+    )
+
+    corpus = generate_corpus(2, seed=0)
+    dataset = ACFGDataset.from_corpus(corpus)
+    model = GCNClassifier(hidden=(8, 8), rng=np.random.default_rng(0))
+    engine = InferenceEngine(
+        gnn=model,
+        scaler=FeatureScaler().fit(list(dataset)),
+        explainers={"Gradient": GradientExplainer(model)},
+        families=dataset.families,
+        default_explainer="Gradient",
+    )
+    plan = FaultPlan(
+        seed=7,
+        stages={
+            "sanitize": FaultSpec(error=0.05, latency=0.05, latency_ms=2.0),
+            "verify": FaultSpec(error=0.05, nonfinite=0.05),
+            "reduce": FaultSpec(error=0.05, latency=0.05, latency_ms=2.0),
+            "classify": FaultSpec(error=0.45, nonfinite=0.15),
+            "explain": FaultSpec(error=0.45, nonfinite=0.15),
+        },
+    )
+    config = DaemonConfig(
+        cache_capacity=0,
+        resilience=ResilienceConfig(
+            deadline_ms=5000.0, breaker_threshold=2, breaker_cooldown_ms=1.0
+        ),
+    )
+    problems: list[str] = []
+    answered = degraded = unhandled = 0
+    before = metrics_registry().snapshot()
+    with ServeDaemon(engine, config, fault_plan=plan) as daemon:
+        for sample in list(corpus) + list(corpus):
+            try:
+                response = daemon.submit(sample)
+            except RequestRejected:
+                answered += 1
+                continue
+            except Exception as error:  # noqa: BLE001 - the contract under test
+                unhandled += 1
+                problems.append(
+                    f"unhandled {type(error).__name__} escaped submit: {error}"
+                )
+                continue
+            answered += 1
+            if getattr(response, "degraded", False):
+                degraded += 1
+            if not np.all(np.isfinite(np.asarray(response.probabilities))):
+                problems.append(
+                    f"non-finite probabilities served for {response.name!r}"
+                )
+    delta = metrics_registry().delta_since(before)
+    faults = sum(
+        count for name, count in delta.items()
+        if name.startswith("resilience.fault.")
+    )
+    trips = sum(
+        count for name, count in delta.items()
+        if name.startswith("resilience.breaker.") and name.endswith(".trip")
+    )
+    recoveries = sum(
+        count for name, count in delta.items()
+        if name.startswith("resilience.breaker.") and name.endswith(".recover")
+    )
+    if faults == 0:
+        problems.append("fault plan injected nothing")
+    if trips == 0:
+        problems.append("circuit breaker never tripped under chaos")
+    if recoveries == 0:
+        problems.append("circuit breaker never recovered after tripping")
+
+    # Phase 2: with no fault plan the daemon must add nothing.
+    sample = corpus[0]
+    direct = engine.submit(sample)
+    with ServeDaemon(engine, DaemonConfig()) as clean_daemon:
+        served = clean_daemon.submit(sample)
+    if served.degraded or served.fingerprint != direct.fingerprint:
+        problems.append("clean daemon response diverged from engine.submit")
+    elif not (
+        np.array_equal(served.probabilities, direct.probabilities)
+        and np.array_equal(
+            served.explanation.node_order, direct.explanation.node_order
+        )
+        and np.array_equal(
+            served.explanation.node_scores, direct.explanation.node_scores
+        )
+    ):
+        problems.append("clean daemon response not bit-identical to engine.submit")
+
+    for problem in problems:
+        print(f"[check]   {problem}")
+    ok = not problems
+    status = "ok" if ok else "FAILED"
+    print(
+        f"[check] chaos smoke: {answered} typed responses "
+        f"({degraded} degraded, {unhandled} unhandled), {faults} faults, "
+        f"{trips} breaker trip(s), {recoveries} recover(ies) ({status})"
+    )
+    return ok
+
+
 def _run_fuzz_smoke(iterations: int = 500, seed: int = 0) -> bool:
     """A seeded fuzz campaign must finish with zero unhandled crashes.
 
@@ -416,6 +551,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the serving smoke gate (in-process daemon, one "
         "cold and one cached request, bit-identical responses)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also run the resilience smoke gate (daemon under an "
+        "every-stage fault plan: 100%% typed responses, breaker "
+        "trip+recover; no-plan serving bit-identical to the engine)",
+    )
     args = parser.parse_args(argv)
     root = _repo_root()
     results: dict[str, bool | str] = {}
@@ -437,6 +579,8 @@ def main(argv: list[str] | None = None) -> int:
         results["reduce smoke"] = _run_reduce_smoke(samples=3, seed=0)
     if args.serve:
         results["serve smoke"] = _run_serve_smoke()
+    if args.chaos:
+        results["chaos smoke"] = _run_chaos_smoke()
     if args.fuzz:
         results["fuzz smoke"] = _run_fuzz_smoke(iterations=args.fuzz_iterations)
 

@@ -1,10 +1,11 @@
-"""Tests for the three baseline explainers."""
+"""Tests for the baseline explainers."""
 
 import numpy as np
 import pytest
 
 from repro.baselines import (
     GNNExplainerBaseline,
+    GradientExplainer,
     PGExplainerBaseline,
     SubgraphXBaseline,
 )
@@ -97,6 +98,46 @@ class TestPGExplainer:
         order1, _ = explainer.rank_nodes(graph)
         order2, _ = explainer.rank_nodes(graph)
         np.testing.assert_array_equal(order1, order2)
+
+
+class TestGradient:
+    """Vanilla saliency: one forward+backward, the serving fallback rung."""
+
+    def test_explanation_is_valid(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[0]
+        explanation = GradientExplainer(trained_gnn).explain(graph)
+        assert sorted(explanation.node_order.tolist()) == list(range(graph.n_real))
+        assert explanation.explainer_name == "Gradient"
+
+    def test_scores_finite_and_nonnegative(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[1]
+        order, scores = GradientExplainer(trained_gnn).rank_nodes(graph)
+        assert scores.shape == (graph.n_real,)
+        assert np.all(np.isfinite(scores))
+        assert np.all(scores >= 0)  # gradient L2 norms
+        # The ranking is the stable descending sort of the scores.
+        np.testing.assert_array_equal(
+            scores[order], np.sort(scores)[::-1]
+        )
+
+    def test_deterministic(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[2]
+        explainer = GradientExplainer(trained_gnn)
+        first_order, first_scores = explainer.rank_nodes(graph)
+        second_order, second_scores = explainer.rank_nodes(graph)
+        np.testing.assert_array_equal(first_order, second_order)
+        np.testing.assert_array_equal(first_scores, second_scores)
+
+    def test_does_not_mutate_model(self, trained_gnn, small_dataset):
+        _, test_set = small_dataset
+        graph = test_set.graphs[0]
+        before = [p.data.copy() for p in trained_gnn.parameters()]
+        GradientExplainer(trained_gnn).explain(graph)
+        for b, a in zip(before, trained_gnn.parameters()):
+            np.testing.assert_array_equal(b, a.data)
 
 
 class TestSubgraphX:

@@ -1,0 +1,324 @@
+"""Unit tests for repro.resilience: deadlines, fault plans, breakers.
+
+The daemon-level integration (degradation ladder, deadline drops,
+breaker shedding through ``ServeDaemon.submit``) lives in
+``test_serve_resilience.py``; this module covers the primitives in
+isolation — breakers against a fake clock, injectors against recorded
+sleeps — so every state transition is exercised deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import RetryPolicy
+from repro.nn import NumericalError
+from repro.obs import metrics_registry
+from repro.resilience import (
+    FAULT_KINDS,
+    SERVING_STAGES,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceConfig,
+    corrupt_array,
+    failure_kind,
+)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_fresh_deadline_not_expired(self):
+        deadline = Deadline.after_ms(60_000.0)
+        assert not deadline.expired
+        assert 0 < deadline.remaining_ms() <= 60_000.0
+        deadline.check("classify")  # must not raise
+
+    def test_expired_deadline_checks_raise_with_stage(self):
+        deadline = Deadline(expires_at=0.0, budget_ms=5.0)
+        assert deadline.expired
+        assert deadline.remaining_ms() == 0.0
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("explain")
+        assert excinfo.value.stage == "explain"
+        assert excinfo.value.budget_ms == 5.0
+        assert isinstance(excinfo.value, TimeoutError)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after_ms(0.0)
+        with pytest.raises(ValueError):
+            Deadline.after_ms(-10.0)
+
+
+# ----------------------------------------------------------------------
+# FaultSpec / FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_spec_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(error=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(latency=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(error=0.6, latency=0.3, nonfinite=0.2)  # sums past 1
+        with pytest.raises(ValueError):
+            FaultSpec(latency_ms=-1.0)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            FaultPlan(stages={"train": FaultSpec(error=0.1)})
+
+    def test_empty_property(self):
+        assert FaultPlan().empty
+        assert FaultPlan(stages={"classify": FaultSpec()}).empty
+        assert not FaultPlan(stages={"classify": FaultSpec(error=0.1)}).empty
+
+    def test_round_trip_and_file_io(self, tmp_path):
+        plan = FaultPlan(
+            seed=42,
+            stages={
+                "classify": FaultSpec(error=0.1, latency=0.2, latency_ms=7.0),
+                "explain": FaultSpec(nonfinite=0.3),
+            },
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_fingerprint_stable_and_seed_sensitive(self):
+        stages = {"verify": FaultSpec(error=0.2)}
+        a = FaultPlan(seed=1, stages=stages)
+        b = FaultPlan(seed=1, stages=dict(stages))
+        c = FaultPlan(seed=2, stages=stages)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_decide_is_deterministic(self):
+        plan = FaultPlan(
+            seed=3,
+            stages={s: FaultSpec(error=0.3, latency=0.3, nonfinite=0.3)
+                    for s in SERVING_STAGES},
+        )
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        decisions = [
+            (stage, key, attempt)
+            for stage in SERVING_STAGES
+            for key in ("a", "b", "c")
+            for attempt in range(4)
+        ]
+        for stage, key, attempt in decisions:
+            assert first.decide(stage, key, attempt) == second.decide(
+                stage, key, attempt
+            )
+
+    def test_decide_respects_probabilities(self):
+        always = FaultInjector(
+            FaultPlan(stages={"classify": FaultSpec(error=1.0)})
+        )
+        never = FaultInjector(FaultPlan(stages={"classify": FaultSpec()}))
+        for attempt in range(8):
+            assert always.decide("classify", "k", attempt) == "error"
+            assert never.decide("classify", "k", attempt) is None
+        # Stage absent from the plan: no spec, no fault.
+        assert always.decide("explain", "k") is None
+
+    def test_fire_error_raises_injected_fault(self):
+        injector = FaultInjector(
+            FaultPlan(stages={"verify": FaultSpec(error=1.0)})
+        )
+        before = metrics_registry().snapshot()
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.fire("verify", "prog", attempt=2)
+        assert excinfo.value.stage == "verify"
+        assert excinfo.value.key == "prog"
+        assert excinfo.value.attempt == 2
+        delta = metrics_registry().delta_since(before)
+        assert delta.get("resilience.fault.verify.error", 0) == 1
+
+    def test_fire_latency_sleeps_for_spike(self):
+        naps: list[float] = []
+        injector = FaultInjector(
+            FaultPlan(stages={"reduce": FaultSpec(latency=1.0, latency_ms=40.0)}),
+            sleep=naps.append,
+        )
+        assert injector.fire("reduce", "prog") is None
+        assert naps == [0.04]
+
+    def test_fire_nonfinite_returns_marker_or_raises(self):
+        injector = FaultInjector(
+            FaultPlan(stages={"classify": FaultSpec(nonfinite=1.0)})
+        )
+        assert injector.fire("classify", "prog") == "nonfinite"
+        with pytest.raises(NumericalError):
+            injector.fire("classify", "prog", has_output=False)
+
+    def test_corrupt_array_poisons_copy_only(self):
+        original = np.ones((2, 3))
+        poisoned = corrupt_array(original)
+        assert np.isnan(poisoned).any()
+        assert np.isfinite(original).all()
+        assert corrupt_array(np.empty(0)).size == 0
+
+    def test_kinds_vocabulary(self):
+        assert FAULT_KINDS == ("error", "latency", "nonfinite")
+        assert SERVING_STAGES == (
+            "sanitize", "verify", "reduce", "classify", "explain"
+        )
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker (fake clock: every transition deterministic)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("classify", failure_threshold=3, clock=clock)
+        before = metrics_registry().snapshot()
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        delta = metrics_registry().delta_since(before)
+        assert delta.get("resilience.breaker.classify.trip", 0) == 1
+        assert delta.get("resilience.breaker.classify.short_circuit", 0) == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker("explain", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "reduce", failure_threshold=1, cooldown_ms=100.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance_ms(50.0)
+        assert not breaker.allow()  # cooldown not elapsed
+        clock.advance_ms(60.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # probe in flight, everyone else sheds
+
+    def test_successful_probe_closes_and_counts_recovery(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "verify", failure_threshold=1, cooldown_ms=10.0, clock=clock
+        )
+        before = metrics_registry().snapshot()
+        breaker.record_failure()
+        clock.advance_ms(20.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        delta = metrics_registry().delta_since(before)
+        assert delta.get("resilience.breaker.verify.recover", 0) == 1
+
+    def test_failed_probe_reopens_for_full_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "sanitize", failure_threshold=1, cooldown_ms=10.0, clock=clock
+        )
+        before = metrics_registry().snapshot()
+        breaker.record_failure()
+        clock.advance_ms(20.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # fresh cooldown
+        clock.advance_ms(20.0)
+        assert breaker.allow()  # next probe
+        delta = metrics_registry().delta_since(before)
+        assert delta.get("resilience.breaker.sanitize.reopen", 0) == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("classify", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("classify", cooldown_ms=0.0)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy jitter (repro.exec) + ResilienceConfig
+# ----------------------------------------------------------------------
+class TestRetryJitter:
+    def test_no_key_keeps_exact_exponential_schedule(self):
+        policy = RetryPolicy(
+            max_retries=3, backoff_seconds=1.0, backoff_factor=2.0, jitter=0.5
+        )
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 2.0
+        assert policy.delay(3) == 4.0
+
+    def test_zero_jitter_ignores_key(self):
+        policy = RetryPolicy(max_retries=2, backoff_seconds=1.0, backoff_factor=2.0)
+        assert policy.delay(2, key="anything") == policy.delay(2)
+
+    def test_jitter_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_retries=2, backoff_seconds=1.0, backoff_factor=2.0, jitter=0.4
+        )
+        delays = {policy.delay(2, key="req-1") for _ in range(5)}
+        assert len(delays) == 1  # same identity, same delay
+        delay = delays.pop()
+        assert 2.0 * 0.6 <= delay <= 2.0 * 1.4
+        assert policy.delay(2, key="req-1") != policy.delay(2, key="req-2")
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestResilienceConfig:
+    def test_defaults_are_valid(self):
+        config = ResilienceConfig()
+        assert config.deadline_ms is None
+        assert config.retry.max_retries == 2
+        assert config.fallback_explainers == ("Gradient",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(deadline_ms=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(breaker_threshold=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(breaker_cooldown_ms=-1.0)
+
+    def test_failure_kind_vocabulary(self):
+        assert failure_kind(DeadlineExceeded("classify", 10.0)) == "timeout"
+        assert failure_kind(InjectedFault("classify", "k", 0)) == "exception"
+        assert failure_kind(ValueError("boom")) == "exception"

@@ -53,9 +53,15 @@ class FakeEngine:
         self.entered = threading.Event()
         self.batches: list[int] = []
 
-    def admit(self, sample, graph=None):
+    def admit(self, sample, graph=None, deadline=None, stage_hook=None):
+        if stage_hook is not None:
+            for stage in ("sanitize", "verify", "reduce"):
+                stage_hook(stage)
         return PreparedRequest(
-            sample=sample, graph=None, fingerprint=f"fp-{sample.program.name}"
+            sample=sample,
+            graph=None,
+            fingerprint=f"fp-{sample.program.name}",
+            deadline=deadline,
         )
 
     def classify(self, requests):

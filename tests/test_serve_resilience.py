@@ -1,0 +1,424 @@
+"""Resilience through the daemon: retries, ladder, deadlines, breakers.
+
+Driven two ways, mirroring ``test_serve_daemon``:
+
+* A scripted engine double whose classify/execute stages fail on
+  command — deterministic coverage of the retry loop, the explainer
+  degradation ladder, deadline drops, breaker trip/shed/recover, and
+  the ``stop()`` drain under a faulting batch.
+* The real session engine under a :class:`~repro.resilience.FaultPlan`
+  with probability-one faults — end-to-end proof that injected chaos
+  comes back as typed :class:`DegradedResponse` objects, and that an
+  *empty* plan leaves serving bit-identical to a direct
+  ``InferenceEngine.submit``.
+"""
+
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.exec import RetryPolicy
+from repro.obs import metrics_registry
+from repro.resilience import FaultPlan, FaultSpec, ResilienceConfig
+from repro.serve import (
+    DaemonConfig,
+    DegradedResponse,
+    EngineResponse,
+    ExplanationCache,
+    PreparedRequest,
+    ServeDaemon,
+)
+
+
+def _sample(name: str) -> SimpleNamespace:
+    return SimpleNamespace(program=SimpleNamespace(name=name), family="fake")
+
+
+def _explanation() -> SimpleNamespace:
+    return SimpleNamespace(
+        node_order=np.array([0]), node_scores=np.array([1.0])
+    )
+
+
+class ScriptedEngine:
+    """Engine double whose stage failures are scripted by the test."""
+
+    default_explainer = "CFGExplainer"
+    families = ("fake", "other")
+
+    def __init__(self, classify_failures: int = 0, failing_explainers=()):
+        self.classify_failures = classify_failures
+        self.failing_explainers = set(failing_explainers)
+        self.classify_calls = 0
+        self.execute_calls: list[str] = []
+        self.explainers = {"CFGExplainer": object(), "Gradient": object()}
+        self.gate = threading.Event()
+        self.gate.set()
+        self.entered = threading.Event()
+
+    def admit(self, sample, graph=None, deadline=None, stage_hook=None):
+        if stage_hook is not None:
+            for stage in ("sanitize", "verify", "reduce"):
+                stage_hook(stage)
+        return PreparedRequest(
+            sample=sample,
+            graph=None,
+            fingerprint=f"fp-{sample.program.name}",
+            deadline=deadline,
+        )
+
+    def classify(self, requests):
+        self.entered.set()
+        assert self.gate.wait(timeout=10), "classify gate never released"
+        self.classify_calls += 1
+        if self.classify_failures > 0:
+            self.classify_failures -= 1
+            raise RuntimeError("scripted classify failure")
+        return np.tile([0.75, 0.25], (len(requests), 1))
+
+    def execute(self, request, probabilities=None, explainer=None):
+        name = explainer or self.default_explainer
+        self.execute_calls.append(name)
+        if name in self.failing_explainers:
+            raise RuntimeError(f"scripted {name} failure")
+        return EngineResponse(
+            name=request.sample.program.name,
+            fingerprint=request.fingerprint,
+            probabilities=np.asarray(probabilities, dtype=float),
+            predicted_class=0,
+            family="fake",
+            explainer=name,
+            explanation=_explanation(),
+        )
+
+
+def _config(**resilience) -> DaemonConfig:
+    return DaemonConfig(
+        cache_capacity=0, resilience=ResilienceConfig(**resilience)
+    )
+
+
+# ----------------------------------------------------------------------
+# bounded retry
+# ----------------------------------------------------------------------
+def test_transient_classify_fault_retried_to_full_response():
+    # Failure 1 hits the batched fast path, failure 2 the per-ticket
+    # attempt; the bounded retry's second attempt then succeeds.
+    engine = ScriptedEngine(classify_failures=2)
+    before = metrics_registry().snapshot()
+    with ServeDaemon(engine, _config()) as daemon:
+        response = daemon.submit(_sample("a"))
+    assert not response.degraded
+    assert not isinstance(response, DegradedResponse)
+    np.testing.assert_allclose(response.probabilities, [0.75, 0.25])
+    delta = metrics_registry().delta_since(before)
+    assert delta.get("resilience.retry.classify", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# explainer degradation ladder
+# ----------------------------------------------------------------------
+def test_explain_fault_falls_back_to_gradient():
+    engine = ScriptedEngine(failing_explainers={"CFGExplainer"})
+    config = DaemonConfig(  # cache on: the fallback must NOT be cached
+        cache_capacity=8, resilience=ResilienceConfig(breaker_threshold=100)
+    )
+    with ServeDaemon(engine, config) as daemon:
+        response = daemon.submit(_sample("a"))
+        repeat = daemon.submit(_sample("a"))
+    assert isinstance(response, DegradedResponse)
+    assert response.degradation_reason == "explainer_fallback"
+    assert response.explainer == "Gradient"
+    assert response.explanation is not None
+    assert response.failed_stage == "explain"
+    np.testing.assert_allclose(response.probabilities, [0.75, 0.25])
+    # Degraded responses never enter the cache: the repeat re-ran the
+    # ladder (execute called again) instead of replaying the fault.
+    assert len(daemon.cache) == 0
+    assert repeat.degradation_reason == "explainer_fallback"
+    assert not repeat.cached
+
+
+def test_persistent_explain_failure_serves_classification_only():
+    engine = ScriptedEngine(failing_explainers={"CFGExplainer", "Gradient"})
+    with ServeDaemon(engine, _config(breaker_threshold=100)) as daemon:
+        response = daemon.submit(_sample("a"))
+    assert isinstance(response, DegradedResponse)
+    assert response.degradation_reason == "classification_only"
+    assert response.explanation is None
+    # The classification fields are the real ones, not placeholders.
+    assert response.predicted_class == 0
+    assert response.family == "fake"
+    np.testing.assert_allclose(response.probabilities, [0.75, 0.25])
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_expired_ticket_dropped_from_queue():
+    engine = ScriptedEngine()
+    engine.gate.clear()  # first ticket stalls inside classify
+    config = DaemonConfig(
+        max_batch=1,
+        batch_window_ms=0.0,
+        cache_capacity=0,
+        resilience=ResilienceConfig(deadline_ms=150.0),
+    )
+    before = metrics_registry().snapshot()
+    responses: dict[str, EngineResponse] = {}
+    with ServeDaemon(engine, config) as daemon:
+        threads = [
+            threading.Thread(
+                target=lambda n: responses.__setitem__(n, daemon.submit(_sample(n))),
+                args=(name,),
+            )
+            for name in ("a", "b")
+        ]
+        threads[0].start()
+        assert engine.entered.wait(timeout=5)
+        threads[1].start()  # queued behind the stalled batch
+        time.sleep(0.25)  # both deadlines expire while "b" queues
+        engine.gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+    assert isinstance(responses["b"], DegradedResponse)
+    assert responses["b"].degradation_reason == "deadline"
+    assert responses["b"].failed_stage == "queue"
+    assert responses["b"].failure_kind == "timeout"
+    delta = metrics_registry().delta_since(before)
+    assert delta.get("resilience.deadline.dropped", 0) == 1
+
+
+# ----------------------------------------------------------------------
+# circuit breaker through the daemon
+# ----------------------------------------------------------------------
+def test_breaker_trips_then_sheds_requests():
+    engine = ScriptedEngine(classify_failures=10**6)
+    config = _config(
+        retry=RetryPolicy(max_retries=0, backoff_seconds=0.0),
+        breaker_threshold=3,
+        breaker_cooldown_ms=60_000.0,
+    )
+    before = metrics_registry().snapshot()
+    with ServeDaemon(engine, config) as daemon:
+        first = [daemon.submit(_sample(f"g{i}")) for i in range(3)]
+        shed = daemon.submit(_sample("g3"))
+    for response in first:
+        assert response.degradation_reason == "unavailable"
+        assert response.failed_stage == "classify"
+    assert shed.degradation_reason == "breaker_open"
+    delta = metrics_registry().delta_since(before)
+    assert delta.get("resilience.breaker.classify.trip", 0) == 1
+    assert delta.get("resilience.breaker.classify.short_circuit", 0) >= 1
+
+
+def test_breaker_recovers_via_half_open_probe():
+    # Exactly 6 scripted failures: 3 submissions consume two each (the
+    # batched fast path plus the per-ticket attempt) and trip the
+    # breaker; after the 1 ms cooldown the 4th submission is the
+    # half-open probe, succeeds, and closes the breaker.
+    engine = ScriptedEngine(classify_failures=6)
+    config = _config(
+        retry=RetryPolicy(max_retries=0, backoff_seconds=0.0),
+        breaker_threshold=3,
+        breaker_cooldown_ms=1.0,
+    )
+    before = metrics_registry().snapshot()
+    with ServeDaemon(engine, config) as daemon:
+        for i in range(3):
+            assert daemon.submit(_sample(f"g{i}")).degraded
+        time.sleep(0.005)
+        recovered = daemon.submit(_sample("g3"))
+    assert not recovered.degraded
+    np.testing.assert_allclose(recovered.probabilities, [0.75, 0.25])
+    delta = metrics_registry().delta_since(before)
+    assert delta.get("resilience.breaker.classify.trip", 0) == 1
+    assert delta.get("resilience.breaker.classify.recover", 0) == 1
+
+
+# ----------------------------------------------------------------------
+# stop() drain under a faulting in-flight batch (no lost tickets)
+# ----------------------------------------------------------------------
+def test_stop_drains_while_batch_is_faulting():
+    engine = ScriptedEngine(classify_failures=10**6)
+    engine.gate.clear()  # hold the in-flight batch mid-classify
+    config = DaemonConfig(
+        max_queue_depth=16,
+        max_batch=4,
+        batch_window_ms=1.0,
+        cache_capacity=0,
+        resilience=ResilienceConfig(retry=RetryPolicy(max_retries=0)),
+    )
+    daemon = ServeDaemon(engine, config)
+    daemon.start()
+    responses: dict[str, EngineResponse] = {}
+
+    def client(name: str) -> None:
+        responses[name] = daemon.submit(_sample(name))
+
+    threads = [
+        threading.Thread(target=client, args=(f"g{i}",)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    assert engine.entered.wait(timeout=5)
+    # One more ticket lands in the queue while the batch is in flight,
+    # then stop() starts draining before anything has resolved.
+    late = threading.Thread(target=client, args=("late",))
+    late.start()
+    stopper = threading.Thread(target=daemon.stop)
+    stopper.start()
+    engine.gate.set()  # the held batch now fails its classify
+    for thread in [*threads, late, stopper]:
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+    # Every submitter got a typed response; nobody hung, nothing raised.
+    assert sorted(responses) == ["g0", "g1", "g2", "g3", "late"]
+    for response in responses.values():
+        assert isinstance(response, DegradedResponse)
+        assert response.degradation_reason in ("unavailable", "breaker_open")
+    assert daemon._thread is None
+
+
+# ----------------------------------------------------------------------
+# satellite regressions: zero batch window, concurrent cache access
+# ----------------------------------------------------------------------
+def test_zero_batch_window_serves_normally():
+    engine = ScriptedEngine()
+    config = DaemonConfig(batch_window_ms=0.0, max_batch=4, cache_capacity=0)
+    responses = []
+    with ServeDaemon(engine, config) as daemon:
+        threads = [
+            threading.Thread(
+                target=lambda n: responses.append(daemon.submit(_sample(n))),
+                args=(f"g{i}",),
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+    assert len(responses) == 4
+    assert not any(r.degraded for r in responses)
+
+
+def test_cache_concurrent_get_put_stress():
+    cache = ExplanationCache(capacity=8)
+
+    def _response(name: str) -> EngineResponse:
+        return EngineResponse(
+            name=name,
+            fingerprint=f"fp-{name}",
+            probabilities=np.array([1.0, 0.0]),
+            predicted_class=0,
+            family="fake",
+            explainer="CFGExplainer",
+            explanation=_explanation(),
+        )
+
+    errors: list[BaseException] = []
+
+    def writer(offset: int) -> None:
+        try:
+            for i in range(200):
+                cache.put(_response(f"w{(offset + i) % 32}"))
+        except BaseException as error:  # pragma: no cover - diagnostic
+            errors.append(error)
+
+    def reader(offset: int) -> None:
+        try:
+            for i in range(200):
+                hit = cache.get(f"fp-w{(offset + i) % 32}")
+                if hit is not None:
+                    assert hit.cached
+        except BaseException as error:  # pragma: no cover - diagnostic
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer, args=(k,)) for k in range(4)]
+    threads += [threading.Thread(target=reader, args=(k,)) for k in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    assert len(cache) <= 8
+    keys = cache.keys()
+    assert len(keys) == len(set(keys))
+
+
+def test_concurrent_submits_share_cache_entry():
+    engine = ScriptedEngine()
+    responses: list[EngineResponse] = []
+    lock = threading.Lock()
+
+    def client() -> None:
+        response = daemon.submit(_sample("same"))
+        with lock:
+            responses.append(response)
+
+    with ServeDaemon(engine, DaemonConfig(cache_capacity=8)) as daemon:
+        cold = daemon.submit(_sample("same"))  # fill the cache first
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert not cold.cached
+    assert len(responses) == 8
+    assert len(daemon.cache) == 1
+    assert all(r.fingerprint == "fp-same" for r in responses)
+    assert all(r.cached for r in responses)
+
+
+# ----------------------------------------------------------------------
+# fault injection end-to-end on the real engine
+# ----------------------------------------------------------------------
+def test_injected_admission_fault_degrades_unavailable(serve_engine, serve_corpus):
+    plan = FaultPlan(seed=0, stages={"sanitize": FaultSpec(error=1.0)})
+    with ServeDaemon(serve_engine, DaemonConfig(), fault_plan=plan) as daemon:
+        response = daemon.submit(serve_corpus[0])
+    assert isinstance(response, DegradedResponse)
+    assert response.degradation_reason == "unavailable"
+    assert response.failed_stage == "sanitize"
+    assert response.predicted_class == -1
+    assert "injected" in response.detail
+
+
+def test_injected_explain_fault_serves_classification_only(
+    serve_engine, serve_corpus
+):
+    plan = FaultPlan(seed=0, stages={"explain": FaultSpec(error=1.0)})
+    # Threshold above the 6 ladder attempts (2 rungs x 3 tries): the
+    # breaker must not trip mid-ladder, so every rung genuinely runs.
+    config = DaemonConfig(resilience=ResilienceConfig(breaker_threshold=10))
+    with ServeDaemon(serve_engine, config, fault_plan=plan) as daemon:
+        response = daemon.submit(serve_corpus[0])
+    assert isinstance(response, DegradedResponse)
+    assert response.degradation_reason == "classification_only"
+    assert response.explanation is None
+    # Classification survived: real, finite probabilities.
+    probabilities = np.asarray(response.probabilities)
+    assert np.all(np.isfinite(probabilities))
+    assert probabilities.sum() == pytest.approx(1.0, abs=1e-6)
+    assert 0 <= response.predicted_class < len(serve_engine.families)
+
+
+def test_empty_fault_plan_bit_identical_to_engine(serve_engine, serve_corpus):
+    direct = serve_engine.submit(serve_corpus[1])
+    with ServeDaemon(
+        serve_engine, DaemonConfig(), fault_plan=FaultPlan()
+    ) as daemon:
+        served = daemon.submit(serve_corpus[1])
+    assert not served.degraded
+    assert served.fingerprint == direct.fingerprint
+    np.testing.assert_array_equal(served.probabilities, direct.probabilities)
+    np.testing.assert_array_equal(
+        served.explanation.node_order, direct.explanation.node_order
+    )
+    np.testing.assert_array_equal(
+        served.explanation.node_scores, direct.explanation.node_scores
+    )
